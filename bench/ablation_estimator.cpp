@@ -1,0 +1,89 @@
+// Design-choice ablations beyond the paper's tuning section.
+//
+// DESIGN.md calls out three estimator/actuation choices worth isolating:
+//   1. cgroup write period (paper: 10 ms) — too fast burns monitor cycles
+//      and chases noise, too slow lags load shifts;
+//   2. processing-cost sampling period (paper: ~1 kHz);
+//   3. NF batch size (paper/libnf: 32) — the yield-flag granularity.
+// Each is swept on the heterogeneous shared-core fairness workload; the
+// figure of merit is throughput plus how close the CPU split lands to the
+// rate-cost proportional target (1:3).
+
+#include "harness.hpp"
+
+using namespace bench;
+
+namespace {
+
+struct AblationResult {
+  double total_mpps;
+  double cpu_ratio;  // NF2(3x cost) : NF1 — target 3.0
+  std::uint64_t cgroup_writes;
+};
+
+AblationResult run(std::uint32_t share_every, double sample_ms,
+                   std::uint32_t batch, double secs) {
+  PlatformConfig cfg = make_config(kModeNfvnice);
+  cfg.manager.share_updates_every = share_every;
+  Simulation sim(cfg);
+  const auto core_id = sim.add_core(SchedPolicy::kCfsBatch, 100.0);
+  nfv::core::NfOptions opts;
+  opts.batch_size = batch;
+  opts.sample_interval_us = sample_ms * 1000.0;
+  const auto nf1 =
+      sim.add_nf("nf1", core_id, nfv::nf::CostModel::fixed(400), opts);
+  const auto nf2 =
+      sim.add_nf("nf2", core_id, nfv::nf::CostModel::fixed(1200), opts);
+  const auto c1 = sim.add_chain("c1", {nf1});
+  const auto c2 = sim.add_chain("c2", {nf2});
+  sim.add_udp_flow(c1, 4e6);
+  sim.add_udp_flow(c2, 4e6);
+  const double warmup = seconds(0.15);
+  sim.run_for_seconds(warmup);
+  const auto r1_0 = sim.nf_metrics(nf1).runtime;
+  const auto r2_0 = sim.nf_metrics(nf2).runtime;
+  const auto e1_0 = sim.chain_metrics(c1).egress_packets;
+  const auto e2_0 = sim.chain_metrics(c2).egress_packets;
+  sim.run_for_seconds(secs);
+  AblationResult out;
+  out.total_mpps = mpps(sim.chain_metrics(c1).egress_packets - e1_0 +
+                            sim.chain_metrics(c2).egress_packets - e2_0,
+                        secs);
+  out.cpu_ratio = static_cast<double>(sim.nf_metrics(nf2).runtime - r2_0) /
+                  static_cast<double>(sim.nf_metrics(nf1).runtime - r1_0);
+  out.cgroup_writes = sim.manager().cgroups().writes();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Estimator/actuation ablations (two NFs 400/1200 cycles, "
+              "4+4 Mpps, one core; CPU-ratio target 3.0)\n");
+  const double secs = seconds(0.6);
+
+  print_title("cgroup update period (monitor ticks of 1 ms per write)");
+  print_row({"Period", "Mpps", "cpu ratio", "cgroup writes"});
+  for (std::uint32_t every : {1u, 5u, 10u, 50u, 100u}) {
+    const auto r = run(every, 1.0, 32, secs);
+    print_row({fmt("%.0f ms", every), fmt("%.2f", r.total_mpps),
+               fmt("%.2f", r.cpu_ratio), fmt_count(r.cgroup_writes)});
+  }
+
+  print_title("cost-sampling period (libnf rdtsc sampling; paper ~1 kHz)");
+  print_row({"Sample period", "Mpps", "cpu ratio", ""});
+  for (double sample_ms : {0.1, 0.5, 1.0, 5.0, 20.0}) {
+    const auto r = run(10, sample_ms, 32, secs);
+    print_row({fmt("%.1f ms", sample_ms), fmt("%.2f", r.total_mpps),
+               fmt("%.2f", r.cpu_ratio), ""});
+  }
+
+  print_title("NF batch size (yield-flag granularity)");
+  print_row({"Batch", "Mpps", "cpu ratio", ""});
+  for (std::uint32_t batch : {1u, 8u, 32u, 128u}) {
+    const auto r = run(10, 1.0, batch, secs);
+    print_row({fmt("%.0f", batch), fmt("%.2f", r.total_mpps),
+               fmt("%.2f", r.cpu_ratio), ""});
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 1 (§2.2): stock Linux schedulers cannot provide rate-cost
+// proportional fairness.
+//
+// Three standalone NFs share one core under NORMAL / BATCH / RR(100ms),
+// with no NFVnice control plane at all.
+//   Fig. 1a: homogeneous NFs (250 cycles each); even load (5/5/5 Mpps) and
+//            uneven load (6/6/3 Mpps).
+//   Fig. 1b: heterogeneous NFs (500/250/50 cycles); same two loads.
+// Expected shape: with even load and equal costs all schedulers tie; with
+// uneven load only RR tracks arrival rates; with heterogeneous costs CFS
+// favours the cheap NF (equal CPU != equal output) while RR lets heavy NFs
+// hog the core.
+
+#include "harness.hpp"
+
+using namespace bench;
+
+namespace {
+
+void run_case(const char* title, const std::vector<Cycles>& costs,
+              const std::vector<double>& rates_mpps) {
+  print_title(title);
+  print_row({"Scheduler", "NF1 Mpps", "NF2 Mpps", "NF3 Mpps", "NF1 cpu%",
+             "NF2 cpu%", "NF3 cpu%"});
+  const double secs = seconds(0.25);
+  for (const Sched& sched : {kNormal, kBatch, kRr100}) {
+    Simulation sim(make_config(kModeDefault));
+    const auto core_id = sim.add_core(sched.policy, sched.rr_quantum_ms);
+    std::vector<nfv::flow::ChainId> chains;
+    std::vector<nfv::flow::NfId> nfs;
+    for (std::size_t i = 0; i < costs.size(); ++i) {
+      nfs.push_back(sim.add_nf("NF" + std::to_string(i + 1), core_id,
+                               nfv::nf::CostModel::fixed(costs[i])));
+      chains.push_back(sim.add_chain("c" + std::to_string(i), {nfs.back()}));
+      sim.add_udp_flow(chains.back(), rates_mpps[i] * 1e6);
+    }
+    sim.run_for_seconds(secs);
+    std::vector<std::string> cells{sched.name};
+    for (std::size_t i = 0; i < chains.size(); ++i) {
+      cells.push_back(
+          fmt("%.2f", mpps(sim.chain_metrics(chains[i]).egress_packets, secs)));
+    }
+    for (std::size_t i = 0; i < nfs.size(); ++i) {
+      cells.push_back(fmt("%.0f%%", sim.nf_cpu_share(nfs[i]) * 100.0));
+    }
+    print_row(cells);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 1: scheduler motivation (3 NFs sharing one core, no "
+              "NFVnice)\n");
+  run_case("Fig 1a: homogeneous costs (250 cyc), even load 5/5/5 Mpps",
+           {250, 250, 250}, {5, 5, 5});
+  run_case("Fig 1a: homogeneous costs (250 cyc), uneven load 6/6/3 Mpps",
+           {250, 250, 250}, {6, 6, 3});
+  run_case("Fig 1b: heterogeneous costs (500/250/50 cyc), even load 5/5/5",
+           {500, 250, 50}, {5, 5, 5});
+  run_case("Fig 1b: heterogeneous costs (500/250/50 cyc), uneven load 6/6/3",
+           {500, 250, 50}, {6, 6, 3});
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Figures 15b & 15c (§4.3.6): fairness versus computation-cost diversity.
+//
+// Diversity level k runs k NFs on one core with cost ratios drawn from the
+// paper's 1:2:5:20:40:60 ladder, one equal-rate flow per NF. Expected
+// shape (15b): Jain's fairness index of per-flow throughput stays ~1.0
+// under NFVnice but degrades toward ~0.6 for the default CFS scheduler as
+// diversity grows. (15c): at diversity 6, CFS gives every NF ~16.6% CPU so
+// the cheap NF's flow gets ~15x the heavy flow's throughput; NFVnice gives
+// the lightweight NF ~1% and the heavyweight ~46%, equalising throughput.
+
+#include "harness.hpp"
+
+#include "common/stats.hpp"
+
+using namespace bench;
+
+namespace {
+
+struct DiversityResult {
+  double jain;
+  std::vector<double> flow_mpps;
+  std::vector<double> cpu_share;
+};
+
+DiversityResult run(const Mode& mode, int diversity, double secs) {
+  // Cost ladder 1:2:5:20:40:60 scaled to cycles.
+  const Cycles ladder[6] = {100, 200, 500, 2000, 4000, 6000};
+  Simulation sim(make_config(mode));
+  const auto core_id = sim.add_core(SchedPolicy::kCfsNormal, 100.0);
+  std::vector<nfv::flow::NfId> nfs;
+  std::vector<nfv::flow::ChainId> chains;
+  for (int i = 0; i < diversity; ++i) {
+    nfs.push_back(sim.add_nf("NF" + std::to_string(i + 1), core_id,
+                             nfv::nf::CostModel::fixed(ladder[i])));
+    chains.push_back(sim.add_chain("c" + std::to_string(i), {nfs.back()}));
+    sim.add_udp_flow(chains.back(), 2e6);
+  }
+  // Warm up past the estimator bootstrap, then measure steady state.
+  const double warmup = seconds(0.2);
+  sim.run_for_seconds(warmup);
+  std::vector<std::uint64_t> eg0;
+  std::vector<Cycles> run0;
+  for (int i = 0; i < diversity; ++i) {
+    eg0.push_back(sim.chain_metrics(chains[i]).egress_packets);
+    run0.push_back(sim.nf_metrics(nfs[i]).runtime);
+  }
+  sim.run_for_seconds(secs);
+
+  DiversityResult out;
+  std::vector<double> tput;
+  for (int i = 0; i < diversity; ++i) {
+    const auto egress = sim.chain_metrics(chains[i]).egress_packets - eg0[i];
+    out.flow_mpps.push_back(mpps(egress, secs));
+    tput.push_back(static_cast<double>(egress));
+    out.cpu_share.push_back(
+        sim.clock().to_seconds(sim.nf_metrics(nfs[i]).runtime - run0[i]) /
+        secs);
+  }
+  out.jain = nfv::jain_fairness_index(tput);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figures 15b/15c: fairness vs computation diversity "
+              "(cost ladder 1:2:5:20:40:60, 2 Mpps per flow, one core)\n");
+
+  print_title("Fig 15b: Jain's fairness index of per-flow throughput");
+  print_row({"Diversity", "NORMAL (default)", "NFVnice"});
+  const double secs = seconds(1.5);
+  DiversityResult dflt6{}, nice6{};
+  for (int k = 1; k <= 6; ++k) {
+    const auto dflt = run(kModeDefault, k, secs);
+    const auto nice = run(kModeNfvnice, k, secs);
+    print_row({fmt("%.0f", k), fmt("%.3f", dflt.jain), fmt("%.3f", nice.jain)});
+    if (k == 6) {
+      dflt6 = dflt;
+      nice6 = nice;
+    }
+  }
+
+  print_title("Fig 15c: per-NF CPU share and flow throughput at diversity 6");
+  print_row({"NF (cost)", "dflt cpu%", "dflt Mpps", "nfvnice cpu%",
+             "nfvnice Mpps"});
+  const char* labels[6] = {"NF1 (1x)",  "NF2 (2x)",  "NF3 (5x)",
+                           "NF4 (20x)", "NF5 (40x)", "NF6 (60x)"};
+  for (int i = 0; i < 6; ++i) {
+    print_row({labels[i], fmt("%.1f%%", dflt6.cpu_share[i] * 100),
+               fmt("%.3f", dflt6.flow_mpps[i]),
+               fmt("%.1f%%", nice6.cpu_share[i] * 100),
+               fmt("%.3f", nice6.flow_mpps[i])});
+  }
+  return 0;
+}

@@ -1,0 +1,177 @@
+// Shared experiment harness for the paper-reproduction benches.
+//
+// Every bench binary regenerates one table or figure from the NFVnice
+// paper's evaluation (§4): it builds the experiment's topology through the
+// public Simulation API, runs each configuration, and prints rows in the
+// same shape the paper reports. Durations are simulated seconds; set
+// NFV_BENCH_SCALE (e.g. 4) to lengthen every run for tighter statistics.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+
+namespace bench {
+
+using nfv::Cycles;
+using nfv::core::PlatformConfig;
+using nfv::core::SchedPolicy;
+using nfv::core::Simulation;
+
+/// The paper's four system configurations (Fig. 7, Fig. 10, ...).
+struct Mode {
+  const char* name;
+  bool cgroups;
+  bool backpressure;
+  bool ecn;
+};
+
+inline constexpr Mode kModeDefault{"Default", false, false, false};
+inline constexpr Mode kModeCgroup{"CGroup", true, false, false};
+inline constexpr Mode kModeBkpr{"OnlyBKPR", false, true, false};
+inline constexpr Mode kModeNfvnice{"NFVnice", true, true, true};
+inline constexpr Mode kAllModes[] = {kModeDefault, kModeCgroup, kModeBkpr,
+                                     kModeNfvnice};
+inline constexpr Mode kDefaultVsNfvnice[] = {kModeDefault, kModeNfvnice};
+
+/// The kernel schedulers the paper evaluates (§4.1).
+struct Sched {
+  const char* name;
+  SchedPolicy policy;
+  double rr_quantum_ms;
+};
+
+inline constexpr Sched kNormal{"NORMAL", SchedPolicy::kCfsNormal, 100.0};
+inline constexpr Sched kBatch{"BATCH", SchedPolicy::kCfsBatch, 100.0};
+inline constexpr Sched kRr1{"RR(1ms)", SchedPolicy::kRoundRobin, 1.0};
+inline constexpr Sched kRr100{"RR(100ms)", SchedPolicy::kRoundRobin, 100.0};
+inline constexpr Sched kAllScheds[] = {kNormal, kBatch, kRr1, kRr100};
+
+inline PlatformConfig make_config(const Mode& mode) {
+  PlatformConfig cfg;
+  cfg.manager.enable_cgroups = mode.cgroups;
+  cfg.manager.enable_backpressure = mode.backpressure;
+  cfg.manager.enable_ecn = mode.ecn;
+  return cfg;
+}
+
+/// Scale factor for all simulated durations (NFV_BENCH_SCALE, default 1).
+inline double time_scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("NFV_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double v = std::atof(env);
+    return v > 0.0 ? v : 1.0;
+  }();
+  return scale;
+}
+
+inline double seconds(double base) { return base * time_scale(); }
+
+/// Mpps over a window.
+inline double mpps(std::uint64_t packets, double secs) {
+  return static_cast<double>(packets) / secs / 1e6;
+}
+
+/// One service chain of fixed-cost NFs driven by a single UDP flow — the
+/// workhorse setup behind Fig. 7, Tables 3-5, Fig. 10, Fig. 11 and Fig. 16.
+struct ChainResult {
+  double egress_mpps = 0.0;
+  std::uint64_t entry_drops = 0;
+  /// Per-NF (in chain order):
+  std::vector<double> svc_rate_mpps;     ///< packets processed per second
+  std::vector<double> drop_rate_pps;     ///< RX-full drops per second at this NF
+  std::vector<double> wasted_by_pps;     ///< this NF's processed pkts later dropped
+  std::vector<double> cpu_share;
+  std::vector<double> avg_sched_latency_ms;
+  std::vector<double> runtime_ms;
+  std::vector<std::uint64_t> cswch;
+  std::vector<std::uint64_t> nvcswch;
+};
+
+struct ChainSpec {
+  std::vector<Cycles> costs;
+  double rate_pps = 6e6;
+  double secs = 0.25;
+  bool multicore = false;          ///< each NF on its own core
+  /// When non-empty: variable per-packet costs, uniform over these values
+  /// (overrides `costs` entries with the same mixed model per NF).
+  std::vector<Cycles> variable_choices;
+};
+
+inline ChainResult run_chain(const Mode& mode, const Sched& sched,
+                             const ChainSpec& spec) {
+  Simulation sim(make_config(mode));
+  std::vector<nfv::flow::NfId> nfs;
+  std::size_t core_id = sim.add_core(sched.policy, sched.rr_quantum_ms);
+  for (std::size_t i = 0; i < spec.costs.size(); ++i) {
+    if (spec.multicore && i > 0) {
+      core_id = sim.add_core(sched.policy, sched.rr_quantum_ms);
+    }
+    auto cost = spec.variable_choices.empty()
+                    ? nfv::nf::CostModel::fixed(spec.costs[i])
+                    : nfv::nf::CostModel::uniform_choice(
+                          spec.variable_choices, 0x5eed + i);
+    nfs.push_back(
+        sim.add_nf("NF" + std::to_string(i + 1), core_id, std::move(cost)));
+  }
+  const auto chain = sim.add_chain("chain", nfs);
+  sim.add_udp_flow(chain, spec.rate_pps);
+  sim.run_for_seconds(spec.secs);
+
+  ChainResult out;
+  const auto cm = sim.chain_metrics(chain);
+  out.egress_mpps = static_cast<double>(cm.egress_packets) / spec.secs / 1e6;
+  out.entry_drops = cm.entry_throttle_drops;
+  for (std::size_t i = 0; i < nfs.size(); ++i) {
+    const auto m = sim.nf_metrics(nfs[i]);
+    out.svc_rate_mpps.push_back(static_cast<double>(m.processed) / spec.secs /
+                                1e6);
+    out.drop_rate_pps.push_back(static_cast<double>(m.rx_full_drops) /
+                                spec.secs);
+    out.wasted_by_pps.push_back(static_cast<double>(m.downstream_drops) /
+                                spec.secs);
+    out.cpu_share.push_back(sim.nf_cpu_share(nfs[i]));
+    out.avg_sched_latency_ms.push_back(m.avg_sched_latency_ms);
+    out.runtime_ms.push_back(sim.clock().to_millis(m.runtime));
+    out.cswch.push_back(m.voluntary_switches);
+    out.nvcswch.push_back(m.involuntary_switches);
+  }
+  return out;
+}
+
+inline void print_title(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Simple fixed-width row printing: benches pass pre-formatted cells.
+inline void print_row(const std::vector<std::string>& cells, int width = 12) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%-*s", i == 0 ? 22 : width, cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+inline std::string fmt_count(std::uint64_t value) {
+  char buf[64];
+  if (value >= 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", static_cast<double>(value) / 1e6);
+  } else if (value >= 10'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", static_cast<double>(value) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+  }
+  return buf;
+}
+
+}  // namespace bench

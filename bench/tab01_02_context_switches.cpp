@@ -1,0 +1,61 @@
+// Tables 1 & 2 (§2.2): context-switch behaviour of the stock schedulers.
+//
+// Same setups as Figure 1; reports voluntary (cswch/s) and involuntary
+// (nvcswch/s) context switches per NF, as pidstat would. Expected shape:
+// CFS NORMAL shows involuntary switches (wakeup preemption / tick
+// rescheds) concentrated on the hog NFs while frequently sleeping NFs rack
+// up voluntary switches; BATCH cuts involuntary switches by an order of
+// magnitude; RR is almost entirely voluntary (its quantum outlasts any
+// queue backlog).
+
+#include "harness.hpp"
+
+using namespace bench;
+
+namespace {
+
+void run_case(const char* title, const std::vector<Cycles>& costs,
+              const std::vector<double>& rates_mpps) {
+  print_title(title);
+  print_row({"Scheduler", "NF1 cs/s", "NF1 nvcs/s", "NF2 cs/s", "NF2 nvcs/s",
+             "NF3 cs/s", "NF3 nvcs/s"});
+  const double secs = seconds(0.5);
+  for (const Sched& sched : {kNormal, kBatch, kRr100}) {
+    Simulation sim(make_config(kModeDefault));
+    const auto core_id = sim.add_core(sched.policy, sched.rr_quantum_ms);
+    std::vector<nfv::flow::NfId> nfs;
+    for (std::size_t i = 0; i < costs.size(); ++i) {
+      nfs.push_back(sim.add_nf("NF" + std::to_string(i + 1), core_id,
+                               nfv::nf::CostModel::fixed(costs[i])));
+      const auto chain =
+          sim.add_chain("c" + std::to_string(i), {nfs.back()});
+      sim.add_udp_flow(chain, rates_mpps[i] * 1e6);
+    }
+    sim.run_for_seconds(secs);
+    std::vector<std::string> cells{sched.name};
+    for (const auto nf : nfs) {
+      const auto m = sim.nf_metrics(nf);
+      cells.push_back(
+          fmt("%.0f", static_cast<double>(m.voluntary_switches) / secs));
+      cells.push_back(
+          fmt("%.0f", static_cast<double>(m.involuntary_switches) / secs));
+    }
+    print_row(cells);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Tables 1-2: context switches per second (3 NFs on one core, "
+              "no NFVnice)\n");
+  run_case("Table 1: homogeneous (250 cyc), even load 5/5/5 Mpps",
+           {250, 250, 250}, {5, 5, 5});
+  run_case("Table 1: homogeneous (250 cyc), uneven load 6/6/3 Mpps",
+           {250, 250, 250}, {6, 6, 3});
+  run_case("Table 2: heterogeneous (500/250/50 cyc), even load 5/5/5",
+           {500, 250, 50}, {5, 5, 5});
+  run_case("Table 2: heterogeneous (500/250/50 cyc), uneven load 6/6/3",
+           {500, 250, 50}, {6, 6, 3});
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Example: heterogeneous service chains and scheduler choice.
+//
+// Builds the paper's Fig. 11 situation — a chain whose bottleneck position
+// changes — and shows how to sweep schedulers and read per-NF metrics
+// through the public API. Usage:
+//
+//   ./build/examples/heterogeneous_chain [order]
+//
+// where `order` is a permutation of the letters L, M, H (default "HML",
+// the paper's hardest case for coarse-quantum schedulers).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/simulation.hpp"
+
+namespace {
+
+nfv::Cycles cost_for(char c) {
+  switch (c) {
+    case 'L':
+      return 120;
+    case 'M':
+      return 270;
+    default:
+      return 550;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string order = argc > 1 ? argv[1] : "HML";
+  if (order.size() != 3) {
+    std::fprintf(stderr, "order must be 3 of {L,M,H}, e.g. LMH\n");
+    return 1;
+  }
+
+  const nfvnice::SchedPolicy policies[] = {nfvnice::SchedPolicy::kCfsNormal,
+                                           nfvnice::SchedPolicy::kCfsBatch,
+                                           nfvnice::SchedPolicy::kRoundRobin};
+  for (const auto policy : policies) {
+    for (const bool nfvnice_on : {false, true}) {
+      nfvnice::PlatformConfig cfg;
+      cfg.set_nfvnice(nfvnice_on);
+      nfvnice::Simulation sim(cfg);
+      const auto core = sim.add_core(policy, 100.0);
+      std::vector<nfv::flow::NfId> nfs;
+      for (char c : order) {
+        nfs.push_back(sim.add_nf(std::string(1, c), core,
+                                 nfv::nf::CostModel::fixed(cost_for(c))));
+      }
+      const auto chain = sim.add_chain(order, nfs);
+      sim.add_udp_flow(chain, 6e6);
+      sim.run_for_seconds(0.25);
+
+      const auto cm = sim.chain_metrics(chain);
+      std::printf("%-8s %-8s: %.2f Mpps (entry drops %llu)\n",
+                  nfvnice::to_string(policy), nfvnice_on ? "NFVnice" : "stock",
+                  static_cast<double>(cm.egress_packets) / 0.25 / 1e6,
+                  static_cast<unsigned long long>(cm.entry_throttle_drops));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "bp/backpressure.hpp"
+
+namespace nfv::bp {
+
+BackpressureManager::BackpressureManager(const flow::ChainRegistry& chains,
+                                         std::size_t nf_count, BpConfig config)
+    : chains_(chains), config_(config), states_(nf_count) {
+  chain_throttles_.assign(chains.size(), 0);
+}
+
+void BackpressureManager::on_enqueue_feedback(flow::NfId nf,
+                                              pktio::EnqueueResult result) {
+  if (nf >= states_.size()) return;
+  if (result != pktio::EnqueueResult::kOk &&
+      states_[nf].state == ThrottleState::kClear) {
+    states_[nf].state = ThrottleState::kWatch;
+    ++stats_.watch_entries;
+  }
+}
+
+ThrottleState BackpressureManager::evaluate(flow::NfId nf,
+                                            const pktio::Ring& rx_ring,
+                                            Cycles now) {
+  NfState& st = states_[nf];
+  switch (st.state) {
+    case ThrottleState::kClear:
+      if (rx_ring.above_high_watermark()) {
+        st.state = ThrottleState::kWatch;
+        ++stats_.watch_entries;
+      }
+      break;
+    case ThrottleState::kWatch:
+      if (rx_ring.below_low_watermark()) {
+        st.state = ThrottleState::kClear;
+      } else if (rx_ring.above_high_watermark() &&
+                 now - rx_ring.head_enqueue_time() >
+                     config_.queuing_time_threshold) {
+        st.state = ThrottleState::kThrottle;
+        ++stats_.throttle_entries;
+        enter_throttle(nf);
+      }
+      break;
+    case ThrottleState::kThrottle:
+      if (rx_ring.below_low_watermark()) {
+        st.state = ThrottleState::kClear;
+        ++stats_.throttle_clears;
+        leave_throttle(nf);
+      }
+      break;
+  }
+  return st.state;
+}
+
+void BackpressureManager::enter_throttle(flow::NfId nf) {
+  for (flow::ChainId chain : chains_.chains_through(nf)) {
+    if (chain >= chain_throttles_.size()) chain_throttles_.resize(chain + 1, 0);
+    ++chain_throttles_[chain];
+  }
+}
+
+void BackpressureManager::leave_throttle(flow::NfId nf) {
+  for (flow::ChainId chain : chains_.chains_through(nf)) {
+    if (chain < chain_throttles_.size() && chain_throttles_[chain] > 0) {
+      --chain_throttles_[chain];
+    }
+  }
+}
+
+bool BackpressureManager::should_pause_upstream(flow::NfId nf) const {
+  const auto& through = chains_.chains_through(nf);
+  if (through.empty()) return false;
+  for (flow::ChainId chain : through) {
+    const int my_pos = chains_.position_of(chain, nf);
+    bool throttled_downstream = false;
+    const auto& hops = chains_.get(chain).hops;
+    for (std::size_t pos = static_cast<std::size_t>(my_pos) + 1;
+         pos < hops.size(); ++pos) {
+      if (states_[hops[pos]].state == ThrottleState::kThrottle) {
+        throttled_downstream = true;
+        break;
+      }
+    }
+    if (!throttled_downstream) return false;  // this chain still needs us
+  }
+  return true;
+}
+
+}  // namespace nfv::bp

@@ -1,0 +1,90 @@
+// Chain-level backpressure (§3.3, Figs. 4 & 5).
+//
+// Detection happens on the Tx threads' enqueue path (cheap: the ring's
+// enqueue return value); control is delegated to the Wakeup thread, which
+// runs each NF through the hysteresis state machine of Fig. 4:
+//
+//   Clear ──(qlen >= HIGH)──────────────────────────▶ Watch
+//   Watch ──(qlen >= HIGH && head queued > thresh)──▶ Throttle
+//   Watch ──(qlen < LOW)────────────────────────────▶ Clear
+//   Throttle ──(qlen < LOW)─────────────────────────▶ Clear
+//
+// While an NF is in Throttle, every service chain passing through it is
+// marked throttled: packets of those chains are dropped at the system entry
+// point (selective early discard — chain B in Fig. 5 is untouched), and
+// strictly-upstream NFs whose *entire* traffic belongs to throttled chains
+// get the relinquish flag so they stop consuming CPU until the bottleneck
+// drains (§4.3.2). Restricting the flag to fully-throttled NFs is what
+// keeps shared NFs (Fig. 8's NF1/NF4) serving their unthrottled chains —
+// avoiding the head-of-line blocking the paper cautions against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "flow/service_chain.hpp"
+#include "pktio/ring.hpp"
+
+namespace nfv::bp {
+
+enum class ThrottleState { kClear, kWatch, kThrottle };
+
+struct BpConfig {
+  /// Minimum time the head packet must have been queued before Watch
+  /// escalates to Throttle (the "Queuing Time > Threshold" arc in Fig. 4).
+  /// Default 100 us at 2.6 GHz.
+  Cycles queuing_time_threshold = 260'000;
+};
+
+struct BpStats {
+  std::uint64_t watch_entries = 0;
+  std::uint64_t throttle_entries = 0;
+  std::uint64_t throttle_clears = 0;
+};
+
+class BackpressureManager {
+ public:
+  BackpressureManager(const flow::ChainRegistry& chains, std::size_t nf_count,
+                      BpConfig config = {});
+
+  /// Tx-thread detection hook: called with the enqueue feedback for `nf`'s
+  /// RX ring. Only flips Clear -> Watch (the cheap part on the data path).
+  void on_enqueue_feedback(flow::NfId nf, pktio::EnqueueResult result);
+
+  /// Wakeup-thread control hook: advance `nf`'s state machine against its
+  /// current RX ring occupancy. Returns the (possibly new) state.
+  ThrottleState evaluate(flow::NfId nf, const pktio::Ring& rx_ring, Cycles now);
+
+  [[nodiscard]] ThrottleState state(flow::NfId nf) const {
+    return states_[nf].state;
+  }
+
+  /// Is this chain currently shed at the entry point?
+  [[nodiscard]] bool chain_throttled(flow::ChainId chain) const {
+    return chain < chain_throttles_.size() && chain_throttles_[chain] > 0;
+  }
+
+  /// Should `nf` be given the relinquish (yield) flag? True iff the NF lies
+  /// strictly upstream of a throttling NF in every chain it serves.
+  [[nodiscard]] bool should_pause_upstream(flow::NfId nf) const;
+
+  [[nodiscard]] const BpStats& stats() const { return stats_; }
+
+ private:
+  struct NfState {
+    ThrottleState state = ThrottleState::kClear;
+  };
+
+  void enter_throttle(flow::NfId nf);
+  void leave_throttle(flow::NfId nf);
+
+  const flow::ChainRegistry& chains_;
+  BpConfig config_;
+  std::vector<NfState> states_;
+  /// Number of throttling NFs each chain currently passes through.
+  std::vector<std::uint32_t> chain_throttles_;
+  BpStats stats_;
+};
+
+}  // namespace nfv::bp

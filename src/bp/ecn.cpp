@@ -1,0 +1,34 @@
+#include "bp/ecn.hpp"
+
+namespace nfv::bp {
+
+EcnMarker::EcnMarker(std::size_t nf_count, Config config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  averages_.assign(nf_count, Ewma(config_.ewma_weight));
+}
+
+bool EcnMarker::on_enqueue(flow::NfId nf, const pktio::Ring& rx_ring,
+                           pktio::Mbuf& mbuf) {
+  Ewma& avg = averages_[nf];
+  avg.observe(static_cast<double>(rx_ring.size()));
+
+  if (!mbuf.is_tcp || !mbuf.ecn_capable || mbuf.ecn_marked) return false;
+
+  const double capacity = static_cast<double>(rx_ring.capacity());
+  const double occupancy = avg.value() / capacity;
+  if (occupancy < config_.min_threshold) return false;
+
+  double prob = 1.0;
+  if (occupancy < config_.max_threshold) {
+    prob = config_.max_mark_prob * (occupancy - config_.min_threshold) /
+           (config_.max_threshold - config_.min_threshold);
+  }
+  if (rng_.next_double() < prob) {
+    mbuf.ecn_marked = true;
+    ++marks_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace nfv::bp

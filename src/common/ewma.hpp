@@ -1,0 +1,37 @@
+// Exponentially weighted moving average.
+//
+// NFVnice monitors queue lengths with an EWMA to decide when to mark ECN on
+// TCP flows (§3.3), following the RED/ECN gateway practice of RFC 3168.
+#pragma once
+
+namespace nfv {
+
+class Ewma {
+ public:
+  /// `alpha` is the weight of each new observation, in (0, 1].
+  explicit Ewma(double alpha = 0.125) : alpha_(alpha) {}
+
+  void observe(double sample) {
+    if (!initialised_) {
+      value_ = sample;
+      initialised_ = true;
+    } else {
+      value_ += alpha_ * (sample - value_);
+    }
+  }
+
+  [[nodiscard]] double value() const { return initialised_ ? value_ : 0.0; }
+  [[nodiscard]] bool initialised() const { return initialised_; }
+
+  void reset() {
+    value_ = 0.0;
+    initialised_ = false;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialised_ = false;
+};
+
+}  // namespace nfv

@@ -1,0 +1,50 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace nfv {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void init_logging_from_env() {
+  const char* env = std::getenv("NFV_LOG");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "debug") == 0) set_log_level(LogLevel::kDebug);
+  else if (std::strcmp(env, "info") == 0) set_log_level(LogLevel::kInfo);
+  else if (std::strcmp(env, "warn") == 0) set_log_level(LogLevel::kWarn);
+  else if (std::strcmp(env, "error") == 0) set_log_level(LogLevel::kError);
+  else if (std::strcmp(env, "off") == 0) set_log_level(LogLevel::kOff);
+}
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message) {
+  std::ostream& out = level >= LogLevel::kWarn ? std::cerr : std::clog;
+  out << "[nfv " << level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace nfv

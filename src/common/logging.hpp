@@ -1,0 +1,40 @@
+// Minimal leveled logger for the framework.
+//
+// Experiments run millions of simulated events; logging defaults to WARN so
+// benches stay quiet. Set NFV_LOG=debug|info|warn|error in the environment
+// or call set_log_level() to change verbosity.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace nfv {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Reads NFV_LOG from the environment once and applies it.
+void init_logging_from_env();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+}
+
+#define NFV_LOG_AT(level, expr)                              \
+  do {                                                       \
+    if (static_cast<int>(level) >=                           \
+        static_cast<int>(::nfv::log_level())) {              \
+      std::ostringstream nfv_log_oss_;                       \
+      nfv_log_oss_ << expr;                                  \
+      ::nfv::detail::log_line(level, nfv_log_oss_.str());    \
+    }                                                        \
+  } while (0)
+
+#define NFV_DEBUG(expr) NFV_LOG_AT(::nfv::LogLevel::kDebug, expr)
+#define NFV_INFO(expr) NFV_LOG_AT(::nfv::LogLevel::kInfo, expr)
+#define NFV_WARN(expr) NFV_LOG_AT(::nfv::LogLevel::kWarn, expr)
+#define NFV_ERROR(expr) NFV_LOG_AT(::nfv::LogLevel::kError, expr)
+
+}  // namespace nfv

@@ -1,0 +1,26 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace nfv {
+
+double Rng::next_exponential(double mean) {
+  // Inverse-CDF sampling; clamp the uniform away from 0 to avoid log(0).
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+std::size_t Rng::next_weighted(const double* weights, std::size_t n) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) total += weights[i];
+  if (total <= 0.0 || n == 0) return n == 0 ? 0 : n - 1;
+  double target = next_double() * total;
+  for (std::size_t i = 0; i < n; ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return n - 1;
+}
+
+}  // namespace nfv

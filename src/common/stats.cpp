@@ -1,0 +1,17 @@
+#include "common/stats.hpp"
+
+namespace nfv {
+
+double jain_fairness_index(const std::vector<double>& values) {
+  if (values.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;  // all-zero allocation is (vacuously) fair
+  return (sum * sum) / (static_cast<double>(values.size()) * sum_sq);
+}
+
+}  // namespace nfv

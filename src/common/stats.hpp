@@ -1,0 +1,43 @@
+// Small statistics helpers shared across the framework and the benches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace nfv {
+
+/// Jain's fairness index over a set of allocations x_i:
+///   J = (Σ x_i)^2 / (n · Σ x_i^2),   J ∈ (0, 1], 1 = perfectly fair.
+/// Used to reproduce Fig. 15b.
+double jain_fairness_index(const std::vector<double>& values);
+
+/// Streaming min/mean/max accumulator; the paper's bar plots report the
+/// average plus the min and max observed across per-second samples.
+class MinMeanMax {
+ public:
+  void add(double v) {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+    sum_ += v;
+    ++n_;
+  }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double mean() const {
+    return n_ ? sum_ / static_cast<double>(n_) : 0.0;
+  }
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  void reset() { *this = MinMeanMax{}; }
+
+ private:
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double sum_ = 0.0;
+  std::uint64_t n_ = 0;
+};
+
+}  // namespace nfv

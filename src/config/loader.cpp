@@ -1,0 +1,203 @@
+#include "config/loader.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace nfv::config {
+
+namespace {
+
+/// Split a line into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream iss(line);
+  std::string token;
+  while (iss >> token) {
+    if (token[0] == '#') break;  // trailing comment
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+/// Parse "key=value" into its parts; returns false if `=` is absent.
+bool split_kv(const std::string& token, std::string& key, std::string& value) {
+  const auto pos = token.find('=');
+  if (pos == std::string::npos) return false;
+  key = token.substr(0, pos);
+  value = token.substr(pos + 1);
+  return true;
+}
+
+double parse_double(int line, const std::string& value, const std::string& what) {
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(value, &consumed);
+    if (consumed != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    throw ConfigError(line, "bad number for " + what + ": '" + value + "'");
+  }
+}
+
+}  // namespace
+
+Topology load(std::istream& in, core::Simulation& sim) {
+  Topology topo;
+  std::string line;
+  int line_no = 0;
+  int udp_count = 0;
+  int tcp_count = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& verb = tokens[0];
+
+    if (verb == "mode") {
+      if (tokens.size() != 2) throw ConfigError(line_no, "mode takes 1 arg");
+      const std::string& mode = tokens[1];
+      if (mode == "nfvnice") {
+        sim.manager().set_features(true, true, true);
+      } else if (mode == "default") {
+        sim.manager().set_features(false, false, false);
+      } else if (mode == "cgroup") {
+        sim.manager().set_features(true, false, false);
+      } else if (mode == "backpressure") {
+        sim.manager().set_features(false, true, false);
+      } else {
+        throw ConfigError(line_no, "unknown mode '" + mode + "'");
+      }
+
+    } else if (verb == "core") {
+      if (tokens.size() < 2) throw ConfigError(line_no, "core takes a policy");
+      const std::string& policy = tokens[1];
+      std::size_t index = 0;
+      if (policy == "normal") {
+        index = sim.add_core(core::SchedPolicy::kCfsNormal);
+      } else if (policy == "batch") {
+        index = sim.add_core(core::SchedPolicy::kCfsBatch);
+      } else if (policy == "rr") {
+        const double quantum_ms =
+            tokens.size() > 2 ? parse_double(line_no, tokens[2], "rr quantum")
+                              : 100.0;
+        index = sim.add_core(core::SchedPolicy::kRoundRobin, quantum_ms);
+      } else {
+        throw ConfigError(line_no, "unknown core policy '" + policy + "'");
+      }
+      topo.cores[std::to_string(index)] = index;
+
+    } else if (verb == "nf") {
+      if (tokens.size() < 3) {
+        throw ConfigError(line_no, "nf takes a name and key=value options");
+      }
+      const std::string& name = tokens[1];
+      if (topo.nfs.count(name) != 0) {
+        throw ConfigError(line_no, "duplicate nf '" + name + "'");
+      }
+      std::size_t core_index = 0;
+      Cycles cost = 250;
+      core::NfOptions options;
+      bool have_core = false;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        std::string key, value;
+        if (!split_kv(tokens[i], key, value)) {
+          throw ConfigError(line_no, "expected key=value, got '" + tokens[i] + "'");
+        }
+        if (key == "core") {
+          const auto it = topo.cores.find(value);
+          if (it == topo.cores.end()) {
+            throw ConfigError(line_no, "unknown core '" + value + "'");
+          }
+          core_index = it->second;
+          have_core = true;
+        } else if (key == "cost") {
+          cost = static_cast<Cycles>(parse_double(line_no, value, "cost"));
+        } else if (key == "priority") {
+          options.priority = parse_double(line_no, value, "priority");
+        } else if (key == "batch") {
+          options.batch_size = static_cast<std::uint32_t>(
+              parse_double(line_no, value, "batch"));
+        } else {
+          throw ConfigError(line_no, "unknown nf option '" + key + "'");
+        }
+      }
+      if (!have_core) throw ConfigError(line_no, "nf needs core=<index>");
+      topo.nfs[name] =
+          sim.add_nf(name, core_index, nf::CostModel::fixed(cost), options);
+
+    } else if (verb == "chain") {
+      if (tokens.size() < 3) {
+        throw ConfigError(line_no, "chain takes a name and >=1 NF");
+      }
+      const std::string& name = tokens[1];
+      if (topo.chains.count(name) != 0) {
+        throw ConfigError(line_no, "duplicate chain '" + name + "'");
+      }
+      std::vector<flow::NfId> hops;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        const auto it = topo.nfs.find(tokens[i]);
+        if (it == topo.nfs.end()) {
+          throw ConfigError(line_no, "unknown nf '" + tokens[i] + "'");
+        }
+        hops.push_back(it->second);
+      }
+      topo.chains[name] = sim.add_chain(name, std::move(hops));
+
+    } else if (verb == "udp" || verb == "tcp") {
+      if (tokens.size() < 2) {
+        throw ConfigError(line_no, verb + " takes a chain name");
+      }
+      const auto it = topo.chains.find(tokens[1]);
+      if (it == topo.chains.end()) {
+        throw ConfigError(line_no, "unknown chain '" + tokens[1] + "'");
+      }
+      double rate = 1e6;
+      core::UdpOptions udp_opts;
+      core::TcpOptions tcp_opts;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        std::string key, value;
+        if (!split_kv(tokens[i], key, value)) {
+          throw ConfigError(line_no, "expected key=value, got '" + tokens[i] + "'");
+        }
+        const double parsed = parse_double(line_no, value, key);
+        if (key == "rate") {
+          rate = parsed;
+        } else if (key == "size") {
+          udp_opts.size_bytes = static_cast<std::uint16_t>(parsed);
+          tcp_opts.size_bytes = static_cast<std::uint16_t>(parsed);
+        } else if (key == "start") {
+          udp_opts.start_seconds = parsed;
+          tcp_opts.start_seconds = parsed;
+        } else if (key == "stop") {
+          udp_opts.stop_seconds = parsed;
+          tcp_opts.stop_seconds = parsed;
+        } else if (key == "rtt_us") {
+          tcp_opts.rtt_seconds = parsed * 1e-6;
+        } else if (key == "classes") {
+          udp_opts.cost_classes = static_cast<std::uint8_t>(parsed);
+        } else {
+          throw ConfigError(line_no, "unknown flow option '" + key + "'");
+        }
+      }
+      if (verb == "udp") {
+        topo.flows["udp" + std::to_string(udp_count++)] =
+            sim.add_udp_flow(it->second, rate, udp_opts);
+      } else {
+        topo.flows["tcp" + std::to_string(tcp_count++)] =
+            sim.add_tcp_flow(it->second, tcp_opts).first;
+      }
+
+    } else {
+      throw ConfigError(line_no, "unknown directive '" + verb + "'");
+    }
+  }
+  return topo;
+}
+
+Topology load_string(const std::string& text, core::Simulation& sim) {
+  std::istringstream iss(text);
+  return load(iss, sim);
+}
+
+}  // namespace nfv::config

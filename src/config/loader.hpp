@@ -1,0 +1,59 @@
+// Topology configuration files (§3.1).
+//
+// "Service chains can be configured during system startup using simple
+// configuration files or from an external orchestrator such as an SDN
+// controller." This loader is that path: a line-oriented format declaring
+// cores, NFs, chains and traffic, applied to a Simulation. The same calls
+// an SDN controller would make through the facade are driven from text:
+//
+//   # comment
+//   mode nfvnice              # or: default | cgroup | backpressure
+//   core batch                # or: core normal | core rr <quantum_ms>
+//   nf nat0 core=0 cost=270 priority=2.0
+//   nf dpi0 core=0 cost=550
+//   chain web nat0 dpi0
+//   udp web rate=6e6 size=64 start=0 stop=1.5
+//   tcp web size=1500 rtt_us=200
+//
+// Identifiers are declared before use; errors carry line numbers.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "core/simulation.hpp"
+
+namespace nfv::config {
+
+/// Thrown on malformed input; what() includes the offending line number.
+class ConfigError : public std::runtime_error {
+ public:
+  ConfigError(int line, const std::string& message)
+      : std::runtime_error("config line " + std::to_string(line) + ": " +
+                           message),
+        line_(line) {}
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Handles created while applying a config, addressable by name.
+struct Topology {
+  std::map<std::string, std::size_t> cores;       ///< by index name "0","1"...
+  std::map<std::string, flow::NfId> nfs;
+  std::map<std::string, flow::ChainId> chains;
+  std::map<std::string, flow::FlowId> flows;      ///< "udp0", "tcp1", ...
+};
+
+/// Parse `in` and apply it to `sim`. `mode` lines override the
+/// PlatformConfig toggles the Simulation was built with. Throws
+/// ConfigError on malformed input.
+Topology load(std::istream& in, core::Simulation& sim);
+
+/// Convenience: parse a string.
+Topology load_string(const std::string& text, core::Simulation& sim);
+
+}  // namespace nfv::config

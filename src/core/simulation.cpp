@@ -1,0 +1,263 @@
+#include "core/simulation.hpp"
+
+#include <cassert>
+#include <iomanip>
+#include <ostream>
+
+#include "sched/cfs.hpp"
+#include "sched/fifo.hpp"
+#include "sched/rr.hpp"
+
+namespace nfv::core {
+
+const char* to_string(SchedPolicy policy) {
+  switch (policy) {
+    case SchedPolicy::kCfsNormal:
+      return "NORMAL";
+    case SchedPolicy::kCfsBatch:
+      return "BATCH";
+    case SchedPolicy::kRoundRobin:
+      return "RR";
+    case SchedPolicy::kFifo:
+      return "FIFO";
+  }
+  return "?";
+}
+
+NfMetrics NfMetrics::operator-(const NfMetrics& rhs) const {
+  NfMetrics d = *this;
+  d.arrivals -= rhs.arrivals;
+  d.processed -= rhs.processed;
+  d.forwarded -= rhs.forwarded;
+  d.rx_full_drops -= rhs.rx_full_drops;
+  d.wasted_drops_here -= rhs.wasted_drops_here;
+  d.downstream_drops -= rhs.downstream_drops;
+  d.voluntary_switches -= rhs.voluntary_switches;
+  d.involuntary_switches -= rhs.involuntary_switches;
+  d.runtime -= rhs.runtime;
+  return d;
+}
+
+ChainMetrics ChainMetrics::operator-(const ChainMetrics& rhs) const {
+  ChainMetrics d = *this;
+  d.entry_admitted -= rhs.entry_admitted;
+  d.entry_throttle_drops -= rhs.entry_throttle_drops;
+  d.egress_packets -= rhs.egress_packets;
+  d.egress_bytes -= rhs.egress_bytes;
+  return d;
+}
+
+Simulation::Simulation(PlatformConfig config)
+    : config_(config), clock_(config.cpu_hz) {
+  pool_ = std::make_unique<pktio::MbufPool>(config_.mempool_capacity);
+  manager_ = std::make_unique<mgr::Manager>(engine_, *pool_, flows_, chains_,
+                                            config_.manager);
+}
+
+Simulation::~Simulation() = default;
+
+std::size_t Simulation::add_core(SchedPolicy policy, double rr_quantum_ms,
+                                 int numa_node) {
+  sched::SchedParams params = sched::SchedParams::defaults(clock_);
+  params.rr_quantum = clock_.from_millis(rr_quantum_ms);
+
+  std::unique_ptr<sched::Scheduler> scheduler;
+  switch (policy) {
+    case SchedPolicy::kCfsNormal:
+      scheduler = std::make_unique<sched::CfsScheduler>(params, /*batch=*/false);
+      break;
+    case SchedPolicy::kCfsBatch:
+      scheduler = std::make_unique<sched::CfsScheduler>(params, /*batch=*/true);
+      break;
+    case SchedPolicy::kRoundRobin:
+      scheduler = std::make_unique<sched::RrScheduler>(params);
+      break;
+    case SchedPolicy::kFifo:
+      scheduler = std::make_unique<sched::FifoScheduler>();
+      break;
+  }
+  const std::size_t index = cores_.size();
+  sched::CoreConfig core_cfg = config_.core;
+  core_cfg.numa_node = numa_node;
+  cores_.push_back(std::make_unique<sched::Core>(
+      engine_, std::move(scheduler), core_cfg,
+      "core" + std::to_string(index)));
+  return index;
+}
+
+flow::NfId Simulation::add_nf(std::string name, std::size_t core_index,
+                              nf::CostModel cost, NfOptions options) {
+  assert(core_index < cores_.size());
+  nf::NfTask::Config cfg;
+  cfg.name = std::move(name);
+  cfg.cost = cost;
+  cfg.rx_capacity = options.rx_capacity ? options.rx_capacity : config_.rx_capacity;
+  cfg.tx_capacity = options.tx_capacity ? options.tx_capacity : config_.tx_capacity;
+  cfg.batch_size = options.batch_size;
+  cfg.high_watermark = config_.high_watermark;
+  cfg.low_watermark = config_.low_watermark;
+  cfg.sample_interval = clock_.from_micros(options.sample_interval_us);
+  cfg.numa_penalty = config_.numa_penalty;
+  cfg.sample_window = clock_.from_millis(100.0);
+  cfg.priority = options.priority;
+
+  nfs_.push_back(std::make_unique<nf::NfTask>(engine_, cfg));
+  const flow::NfId id =
+      manager_->register_nf(nfs_.back().get(), cores_[core_index].get());
+  assert(id + 1 == nfs_.size());
+  return id;
+}
+
+flow::ChainId Simulation::add_chain(std::string name,
+                                    std::vector<flow::NfId> hops) {
+  assert(!started_ && "define chains before traffic starts");
+  return chains_.add(std::move(name), std::move(hops));
+}
+
+io::AsyncIoEngine& Simulation::attach_io(flow::NfId nf_id,
+                                         io::AsyncIoEngine::Config io_config) {
+  io_engines_.push_back(
+      std::make_unique<io::AsyncIoEngine>(engine_, disk(), io_config));
+  nfs_[nf_id]->attach_io(io_engines_.back().get());
+  return *io_engines_.back();
+}
+
+io::BlockDevice& Simulation::disk() {
+  if (!disk_) disk_ = std::make_unique<io::BlockDevice>(engine_);
+  return *disk_;
+}
+
+pktio::FlowKey Simulation::next_flow_key(std::uint8_t proto) {
+  pktio::FlowKey key;
+  key.src_ip = 0x0a000000u + next_ip_++;
+  key.dst_ip = 0x0a800001u;
+  key.src_port = 10000;
+  key.dst_port = 80;
+  key.proto = proto;
+  return key;
+}
+
+flow::FlowId Simulation::add_udp_flow(flow::ChainId chain, double rate_pps,
+                                      UdpOptions options) {
+  const pktio::FlowKey key = next_flow_key(pktio::kProtoUdp);
+  const flow::FlowId flow_id = flows_.install(key, chain);
+
+  traffic::UdpSource::Config cfg;
+  cfg.key = key;
+  cfg.rate_pps = rate_pps;
+  cfg.size_bytes = options.size_bytes;
+  cfg.start_time = clock_.from_seconds(options.start_seconds);
+  cfg.stop_time = options.stop_seconds < 0
+                      ? Cycles{-1}
+                      : clock_.from_seconds(options.stop_seconds);
+  cfg.cost_classes = options.cost_classes;
+
+  udp_sources_.push_back(std::make_unique<traffic::UdpSource>(
+      engine_, *manager_, *pool_, clock_, cfg));
+  if (started_) udp_sources_.back()->start();
+  return flow_id;
+}
+
+std::pair<flow::FlowId, traffic::TcpSource*> Simulation::add_tcp_flow(
+    flow::ChainId chain, TcpOptions options) {
+  const pktio::FlowKey key = next_flow_key(pktio::kProtoTcp);
+  const flow::FlowId flow_id = flows_.install(key, chain);
+
+  traffic::TcpSource::Config cfg;
+  cfg.key = key;
+  cfg.size_bytes = options.size_bytes;
+  cfg.rtt = clock_.from_seconds(options.rtt_seconds);
+  cfg.ecn_capable = options.ecn_capable;
+  cfg.max_cwnd = options.max_cwnd;
+  cfg.start_time = clock_.from_seconds(options.start_seconds);
+  cfg.stop_time = options.stop_seconds < 0
+                      ? Cycles{-1}
+                      : clock_.from_seconds(options.stop_seconds);
+
+  tcp_sources_.push_back(std::make_unique<traffic::TcpSource>(
+      engine_, *manager_, *pool_, flow_id, cfg));
+  if (started_) tcp_sources_.back()->start();
+  return {flow_id, tcp_sources_.back().get()};
+}
+
+void Simulation::ensure_started() {
+  if (started_) return;
+  started_ = true;
+  manager_->start();
+  for (auto& src : udp_sources_) src->start();
+  for (auto& src : tcp_sources_) src->start();
+}
+
+void Simulation::run_for_seconds(double seconds) {
+  ensure_started();
+  engine_.run_until(engine_.now() + clock_.from_seconds(seconds));
+}
+
+double Simulation::now_seconds() const { return clock_.to_seconds(engine_.now()); }
+
+NfMetrics Simulation::nf_metrics(flow::NfId id) const {
+  const nf::NfTask& task = *nfs_[id];
+  const auto& mc = manager_->nf_counters(id);
+  NfMetrics m;
+  m.name = task.name();
+  m.arrivals = task.counters().arrivals;
+  m.processed = task.counters().processed;
+  m.forwarded = task.counters().forwarded;
+  m.rx_full_drops = mc.rx_full_drops;
+  m.wasted_drops_here = mc.wasted_drops_here;
+  m.downstream_drops = mc.downstream_drops;
+  m.voluntary_switches = task.stats().voluntary_switches;
+  m.involuntary_switches = task.stats().involuntary_switches;
+  m.runtime = task.stats().runtime;
+  m.avg_sched_latency_ms =
+      clock_.to_millis(static_cast<Cycles>(task.stats().avg_sched_latency_cycles()));
+  m.rx_queue_len = task.rx_ring().size();
+  return m;
+}
+
+ChainMetrics Simulation::chain_metrics(flow::ChainId id) const {
+  const auto& cc = manager_->chain_counters(id);
+  ChainMetrics m;
+  m.entry_admitted = cc.entry_admitted;
+  m.entry_throttle_drops = cc.entry_throttle_drops;
+  m.egress_packets = cc.egress_packets;
+  m.egress_bytes = cc.egress_bytes;
+  return m;
+}
+
+double Simulation::nf_cpu_share(flow::NfId id) const {
+  const Cycles now = engine_.now();
+  if (now == 0) return 0.0;
+  return static_cast<double>(nfs_[id]->stats().runtime) /
+         static_cast<double>(now);
+}
+
+void Simulation::print_report(std::ostream& out) const {
+  const double elapsed = now_seconds();
+  out << "=== NFVnice simulation report (t=" << std::fixed
+      << std::setprecision(3) << elapsed << "s) ===\n";
+  out << std::left << std::setw(14) << "NF" << std::right << std::setw(12)
+      << "arrivals" << std::setw(12) << "processed" << std::setw(12)
+      << "drops@rx" << std::setw(10) << "cpu%" << std::setw(10) << "cswch"
+      << std::setw(10) << "nvcswch" << '\n';
+  for (flow::NfId id = 0; id < nfs_.size(); ++id) {
+    const NfMetrics m = nf_metrics(id);
+    out << std::left << std::setw(14) << m.name << std::right << std::setw(12)
+        << m.arrivals << std::setw(12) << m.processed << std::setw(12)
+        << m.rx_full_drops << std::setw(9) << std::setprecision(1)
+        << nf_cpu_share(id) * 100.0 << "%" << std::setw(10)
+        << m.voluntary_switches << std::setw(10) << m.involuntary_switches
+        << '\n';
+  }
+  for (flow::ChainId id = 0; id < chains_.size(); ++id) {
+    const ChainMetrics m = chain_metrics(id);
+    out << "chain '" << chains_.get(id).name << "': egress "
+        << m.egress_packets << " pkts ("
+        << std::setprecision(3)
+        << (elapsed > 0 ? static_cast<double>(m.egress_packets) / elapsed / 1e6
+                        : 0.0)
+        << " Mpps), entry drops " << m.entry_throttle_drops << '\n';
+  }
+}
+
+}  // namespace nfv::core

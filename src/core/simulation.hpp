@@ -1,0 +1,211 @@
+// Public facade: build an NFVnice deployment and run it.
+//
+// This is the library's quickstart surface. A Simulation owns the event
+// engine, the shared mbuf pool, the simulated cores with their scheduling
+// policies, the NF Manager, and the traffic sources. Typical use:
+//
+//   nfvnice::Simulation sim;                        // defaults: NFVnice on
+//   auto core = sim.add_core(SchedPolicy::kCfsBatch);
+//   auto nf1 = sim.add_nf("low",  core, CostModel::fixed(120));
+//   auto nf2 = sim.add_nf("med",  core, CostModel::fixed(270));
+//   auto nf3 = sim.add_nf("high", core, CostModel::fixed(550));
+//   auto chain = sim.add_chain("c", {nf1, nf2, nf3});
+//   sim.add_udp_flow(chain, /*rate_pps=*/5e6);
+//   sim.run_for_seconds(1.0);
+//   sim.print_report(std::cout);
+//
+// The paper's "Default / CGroup / BKPR / NFVnice" configurations map to the
+// feature toggles in PlatformConfig::manager.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flow/flow_table.hpp"
+#include "flow/service_chain.hpp"
+#include "io/async_io.hpp"
+#include "io/block_device.hpp"
+#include "mgr/manager.hpp"
+#include "nf/nf_task.hpp"
+#include "pktio/mempool.hpp"
+#include "sched/core.hpp"
+#include "sim/engine.hpp"
+#include "traffic/tcp_source.hpp"
+#include "traffic/udp_source.hpp"
+
+namespace nfv::core {
+
+enum class SchedPolicy {
+  kCfsNormal,   ///< SCHED_NORMAL (CFS with wakeup preemption).
+  kCfsBatch,    ///< SCHED_BATCH (the scheduler NFVnice pairs best with).
+  kRoundRobin,  ///< SCHED_RR with a configurable quantum.
+  kFifo,        ///< SCHED_FIFO (run to completion; hogs starve the core).
+};
+
+const char* to_string(SchedPolicy policy);
+
+struct PlatformConfig {
+  double cpu_hz = kDefaultCpuHz;
+  sched::CoreConfig core;
+  mgr::ManagerConfig manager;
+  std::uint32_t mempool_capacity = 1 << 20;
+
+  // Defaults applied to NFs added via add_nf (overridable per NF).
+  // 16K descriptors per ring, OpenNetVM's NF_QUEUE_RINGSIZE: deep enough
+  // that a weighted NF keeps a backlog across whole scheduler rotations —
+  // CFS can only enforce cpu.shares on tasks that stay runnable.
+  std::uint32_t rx_capacity = 16384;
+  std::uint32_t tx_capacity = 16384;
+  /// Per-packet cycles added on a cross-socket buffer hand-off.
+  Cycles numa_penalty = 300;
+  double high_watermark = 0.80;
+  double low_watermark = 0.60;
+
+  /// Convenience: turn the whole NFVnice control plane on/off (the paper's
+  /// "Default" bar is everything off; cgroups/backpressure can then be
+  /// re-enabled individually for the "CGroup"/"BKPR" bars).
+  void set_nfvnice(bool enabled) {
+    manager.enable_cgroups = enabled;
+    manager.enable_backpressure = enabled;
+    manager.enable_ecn = enabled;
+  }
+};
+
+struct NfOptions {
+  double priority = 1.0;
+  std::uint32_t rx_capacity = 0;  ///< 0 = platform default.
+  std::uint32_t tx_capacity = 0;
+  std::uint32_t batch_size = 32;
+  double sample_interval_us = 1000.0;  ///< cost-sampling period (§3.5, 1 kHz).
+};
+
+struct UdpOptions {
+  std::uint16_t size_bytes = 64;
+  double start_seconds = 0.0;
+  double stop_seconds = -1.0;
+  std::uint8_t cost_classes = 0;
+};
+
+struct TcpOptions {
+  std::uint16_t size_bytes = 1500;
+  double rtt_seconds = 200e-6;
+  double start_seconds = 0.0;
+  double stop_seconds = -1.0;
+  bool ecn_capable = true;
+  std::uint32_t max_cwnd = 4096;
+};
+
+/// Point-in-time dump of every counter a bench needs; subtract two
+/// snapshots to measure a window.
+struct NfMetrics {
+  std::string name;
+  std::uint64_t arrivals = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t rx_full_drops = 0;
+  std::uint64_t wasted_drops_here = 0;
+  std::uint64_t downstream_drops = 0;
+  std::uint64_t voluntary_switches = 0;
+  std::uint64_t involuntary_switches = 0;
+  Cycles runtime = 0;
+  double avg_sched_latency_ms = 0.0;
+  std::uint64_t rx_queue_len = 0;
+
+  NfMetrics operator-(const NfMetrics& rhs) const;
+};
+
+struct ChainMetrics {
+  std::uint64_t entry_admitted = 0;
+  std::uint64_t entry_throttle_drops = 0;
+  std::uint64_t egress_packets = 0;
+  std::uint64_t egress_bytes = 0;
+
+  ChainMetrics operator-(const ChainMetrics& rhs) const;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(PlatformConfig config = {});
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // -- topology -------------------------------------------------------------
+  /// Add a simulated core running `policy`; returns its index.
+  /// `numa_node` places the core on a socket; chains hopping between
+  /// sockets pay the per-packet remote-memory penalty (§1's NUMA concern).
+  std::size_t add_core(SchedPolicy policy, double rr_quantum_ms = 100.0,
+                       int numa_node = 0);
+
+  /// Add an NF pinned to `core_index`. Returns the NfId used in chains.
+  flow::NfId add_nf(std::string name, std::size_t core_index,
+                    nf::CostModel cost, NfOptions options = {});
+
+  flow::ChainId add_chain(std::string name, std::vector<flow::NfId> hops);
+
+  /// Attach an async I/O engine (shared simulated disk) to an NF.
+  io::AsyncIoEngine& attach_io(flow::NfId nf,
+                               io::AsyncIoEngine::Config io_config);
+
+  // -- traffic ---------------------------------------------------------------
+  flow::FlowId add_udp_flow(flow::ChainId chain, double rate_pps,
+                            UdpOptions options = {});
+  std::pair<flow::FlowId, traffic::TcpSource*> add_tcp_flow(
+      flow::ChainId chain, TcpOptions options = {});
+
+  // -- execution --------------------------------------------------------------
+  /// Advance simulated time. The first call starts the manager's periodic
+  /// threads and all traffic sources.
+  void run_for_seconds(double seconds);
+  [[nodiscard]] double now_seconds() const;
+
+  // -- metrics ----------------------------------------------------------------
+  [[nodiscard]] NfMetrics nf_metrics(flow::NfId id) const;
+  [[nodiscard]] ChainMetrics chain_metrics(flow::ChainId id) const;
+  /// CPU utilisation of an NF over the whole run so far (runtime/elapsed).
+  [[nodiscard]] double nf_cpu_share(flow::NfId id) const;
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] const CpuClock& clock() const { return clock_; }
+  [[nodiscard]] mgr::Manager& manager() { return *manager_; }
+  [[nodiscard]] sched::Core& core(std::size_t index) { return *cores_[index]; }
+  [[nodiscard]] std::size_t core_count() const { return cores_.size(); }
+  [[nodiscard]] nf::NfTask& nf(flow::NfId id) { return *nfs_[id]; }
+  [[nodiscard]] std::size_t nf_count() const { return nfs_.size(); }
+  [[nodiscard]] io::BlockDevice& disk();
+  [[nodiscard]] pktio::MbufPool& pool() { return *pool_; }
+  [[nodiscard]] flow::ChainRegistry& chains() { return chains_; }
+  [[nodiscard]] PlatformConfig& config() { return config_; }
+
+  /// Human-readable per-NF / per-chain summary.
+  void print_report(std::ostream& out) const;
+
+ private:
+  void ensure_started();
+  pktio::FlowKey next_flow_key(std::uint8_t proto);
+
+  PlatformConfig config_;
+  CpuClock clock_;
+  sim::Engine engine_;
+  std::unique_ptr<pktio::MbufPool> pool_;
+  flow::FlowTable flows_;
+  flow::ChainRegistry chains_;
+  std::vector<std::unique_ptr<sched::Core>> cores_;
+  std::vector<std::unique_ptr<nf::NfTask>> nfs_;
+  std::unique_ptr<mgr::Manager> manager_;
+  std::unique_ptr<io::BlockDevice> disk_;
+  std::vector<std::unique_ptr<io::AsyncIoEngine>> io_engines_;
+  std::vector<std::unique_ptr<traffic::UdpSource>> udp_sources_;
+  std::vector<std::unique_ptr<traffic::TcpSource>> tcp_sources_;
+  std::uint32_t next_ip_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace nfv::core
+
+/// Friendly alias so examples read naturally.
+namespace nfvnice = nfv::core;

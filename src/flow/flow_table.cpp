@@ -1,0 +1,26 @@
+#include "flow/flow_table.hpp"
+
+namespace nfv::flow {
+
+FlowId FlowTable::install(const pktio::FlowKey& key, ChainId chain) {
+  if (auto it = map_.find(key); it != map_.end()) {
+    entries_[it->second].chain = chain;
+    return it->second;
+  }
+  const auto id = static_cast<FlowId>(entries_.size());
+  entries_.push_back(FlowEntry{id, chain, key});
+  map_.emplace(key, id);
+  return id;
+}
+
+const FlowEntry* FlowTable::lookup(const pktio::FlowKey& key) const {
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &entries_[it->second];
+}
+
+}  // namespace nfv::flow

@@ -1,0 +1,49 @@
+// Exact-match flow table: 5-tuple -> (flow id, service chain).
+//
+// The NF Manager's Rx threads "do a lookup in the Flow Table to direct the
+// packet to the appropriate NF" (§3.1). Rules are installed by the Flow
+// Rule Installer (our benches install them directly); each rule assigns the
+// flow a dense id used for per-flow statistics and ECN bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/service_chain.hpp"
+#include "pktio/flow_key.hpp"
+
+namespace nfv::flow {
+
+using FlowId = std::uint32_t;
+
+struct FlowEntry {
+  FlowId flow_id = 0;
+  ChainId chain = kInvalidChain;
+  pktio::FlowKey key;
+};
+
+class FlowTable {
+ public:
+  /// Install a rule mapping `key` to `chain`. Returns the dense flow id
+  /// (re-installing an existing key updates the chain, keeping the id).
+  FlowId install(const pktio::FlowKey& key, ChainId chain);
+
+  /// Lookup; nullptr on miss (the manager drops unmatched packets).
+  [[nodiscard]] const FlowEntry* lookup(const pktio::FlowKey& key) const;
+
+  [[nodiscard]] const FlowEntry& entry(FlowId id) const { return entries_.at(id); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  std::unordered_map<pktio::FlowKey, FlowId, pktio::FlowKeyHash> map_;
+  std::vector<FlowEntry> entries_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace nfv::flow

@@ -1,0 +1,97 @@
+#include "io/async_io.hpp"
+
+#include <utility>
+
+namespace nfv::io {
+
+AsyncIoEngine::AsyncIoEngine(sim::Engine& engine, BlockDevice& device,
+                             Config config)
+    : engine_(engine), device_(device), config_(config) {
+  if (config_.mode == Mode::kDoubleBuffered && config_.flush_interval > 0) {
+    flush_timer_ = engine_.schedule_periodic(config_.flush_interval, [this] {
+      // Periodic flush bounds how long staged data waits when traffic is
+      // slow; a buffer-full flush may already be in flight.
+      if (!flush_in_flight_ && active_bytes_ > 0) flush_active();
+    });
+  }
+}
+
+AsyncIoEngine::~AsyncIoEngine() { engine_.cancel(flush_timer_); }
+
+void AsyncIoEngine::write(std::uint64_t bytes, Callback done) {
+  ++writes_;
+  bytes_written_ += bytes;
+
+  if (config_.mode == Mode::kSynchronous) {
+    ++sync_in_flight_;
+    if (!blocked_) {
+      blocked_ = true;
+      ++blocked_count_;
+    }
+    device_.submit(bytes, [this, done = std::move(done)] {
+      if (done) done();
+      --sync_in_flight_;
+      maybe_unblock();
+    });
+    return;
+  }
+
+  active_bytes_ += bytes;
+  if (done) active_callbacks_.push_back(std::move(done));
+
+  if (active_bytes_ >= config_.buffer_bytes) {
+    if (!flush_in_flight_) {
+      flush_active();
+    } else if (!blocked_) {
+      // Both buffers full: the filling buffer is at capacity and the other
+      // is still being written out — libnf suspends the NF (§3.4).
+      blocked_ = true;
+      ++blocked_count_;
+    }
+  }
+}
+
+void AsyncIoEngine::read(std::uint64_t bytes, Callback done) {
+  ++reads_;
+  device_.submit(bytes, std::move(done));
+}
+
+bool AsyncIoEngine::would_block() const { return blocked_; }
+
+void AsyncIoEngine::flush_active() {
+  ++flushes_;
+  flush_in_flight_ = true;
+  // Swap buffers: the staged data plus its callbacks head to the device,
+  // and the NF keeps filling a fresh (empty) buffer.
+  auto callbacks = std::move(active_callbacks_);
+  active_callbacks_.clear();
+  const std::uint64_t bytes = active_bytes_;
+  active_bytes_ = 0;
+  device_.submit(bytes, [this, callbacks = std::move(callbacks)] {
+    for (const auto& cb : callbacks) {
+      if (cb) cb();
+    }
+    on_flush_complete();
+  });
+}
+
+void AsyncIoEngine::on_flush_complete() {
+  flush_in_flight_ = false;
+  if (active_bytes_ >= config_.buffer_bytes) {
+    flush_active();  // the other buffer filled while we were writing
+  }
+  maybe_unblock();
+}
+
+void AsyncIoEngine::maybe_unblock() {
+  const bool still_blocked =
+      config_.mode == Mode::kSynchronous
+          ? sync_in_flight_ > 0
+          : (active_bytes_ >= config_.buffer_bytes && flush_in_flight_);
+  if (blocked_ && !still_blocked) {
+    blocked_ = false;
+    if (unblock_cb_) unblock_cb_();
+  }
+}
+
+}  // namespace nfv::io

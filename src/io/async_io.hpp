@@ -1,0 +1,96 @@
+// libnf's storage I/O engine: batched, double-buffered, asynchronous.
+//
+// §3.4: "Using batched asynchronous I/O with double buffering, libnf
+// enables the NF implementation to put the processing of one or more
+// packets on hold, while continuing processing of other packets unhindered.
+// ... Double buffering enables libnf to service one set of I/O requests
+// asynchronously while the other buffer is filled up by the NF. When both
+// buffers are full, libnf suspends the execution of the NF and yields the
+// CPU." The size of the batches and the flush interval are tunable by the
+// NF implementation.
+//
+// The kSynchronous mode is the baseline Fig. 14 compares against: every
+// write stalls the NF until the device completes it (no overlap).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "io/block_device.hpp"
+#include "sim/engine.hpp"
+
+namespace nfv::io {
+
+class AsyncIoEngine {
+ public:
+  enum class Mode {
+    kSynchronous,     ///< Baseline: block the NF for every write.
+    kDoubleBuffered,  ///< NFVnice libnf: overlap compute with flushes.
+  };
+
+  struct Config {
+    Mode mode = Mode::kDoubleBuffered;
+    std::uint64_t buffer_bytes = 64 * 1024;  ///< Batch (buffer) capacity.
+    Cycles flush_interval = 0;  ///< 0 = flush only when a buffer fills.
+  };
+
+  using Callback = std::function<void()>;
+
+  AsyncIoEngine(sim::Engine& engine, BlockDevice& device, Config config);
+  ~AsyncIoEngine();
+
+  AsyncIoEngine(const AsyncIoEngine&) = delete;
+  AsyncIoEngine& operator=(const AsyncIoEngine&) = delete;
+
+  /// libnf_write_data(): stage `bytes` for writing. `done` (optional) fires
+  /// when the data reaches the device. After calling, the NF must check
+  /// would_block() before processing further packets.
+  void write(std::uint64_t bytes, Callback done = {});
+
+  /// libnf_read_data(): asynchronous read; `done` fires with the data
+  /// "available" after the device round trip. Reads never block the NF —
+  /// flow context rides in the callback, per the API in Fig. 6.
+  void read(std::uint64_t bytes, Callback done);
+
+  /// True when the NF must yield: both buffers full (double-buffered) or a
+  /// synchronous request is in flight.
+  [[nodiscard]] bool would_block() const;
+
+  /// Invoked (from the I/O completion context) when would_block()
+  /// transitions back to false — the manager uses it to wake the NF.
+  void set_unblock_callback(Callback cb) { unblock_cb_ = std::move(cb); }
+
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
+  [[nodiscard]] std::uint64_t flushes() const { return flushes_; }
+  [[nodiscard]] std::uint64_t reads() const { return reads_; }
+  [[nodiscard]] std::uint64_t block_transitions() const { return blocked_count_; }
+
+ private:
+  void flush_active();
+  void on_flush_complete();
+  void maybe_unblock();
+
+  sim::Engine& engine_;
+  BlockDevice& device_;
+  Config config_;
+
+  std::uint64_t active_bytes_ = 0;
+  std::vector<Callback> active_callbacks_;
+  bool flush_in_flight_ = false;
+  std::uint64_t sync_in_flight_ = 0;
+  bool blocked_ = false;
+
+  Callback unblock_cb_;
+  sim::EventId flush_timer_ = sim::kInvalidEventId;
+
+  std::uint64_t writes_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t flushes_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t blocked_count_ = 0;
+};
+
+}  // namespace nfv::io

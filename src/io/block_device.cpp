@@ -1,0 +1,19 @@
+#include "io/block_device.hpp"
+
+#include <algorithm>
+
+namespace nfv::io {
+
+void BlockDevice::submit(std::uint64_t bytes, Callback done) {
+  const Cycles start = std::max(engine_.now(), next_free_);
+  const auto duration =
+      config_.base_latency +
+      static_cast<Cycles>(static_cast<double>(bytes) / config_.bytes_per_cycle);
+  next_free_ = start + duration;
+  ++requests_;
+  bytes_ += bytes;
+  busy_ += duration;
+  engine_.schedule_at(next_free_, std::move(done));
+}
+
+}  // namespace nfv::io

@@ -1,0 +1,287 @@
+#include "mgr/manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace nfv::mgr {
+
+namespace {
+const ChainCounters kZeroChain{};
+const FlowCounters kZeroFlow{};
+}  // namespace
+
+Manager::Manager(sim::Engine& engine, pktio::MbufPool& pool,
+                 flow::FlowTable& flows, flow::ChainRegistry& chains,
+                 ManagerConfig config)
+    : engine_(engine),
+      pool_(pool),
+      flows_(flows),
+      chains_(chains),
+      config_(config),
+      cgroup_(config.cgroup_write_cost) {}
+
+flow::NfId Manager::register_nf(nf::NfTask* task, sched::Core* core) {
+  assert(!started_ && "register NFs before start()");
+  const auto id = static_cast<flow::NfId>(records_.size());
+  records_.push_back(NfRecord{task, core, {}, false, 0, 0.0, 0.0});
+  core->add_task(task);
+  task->set_tx_notify([this, id](nf::NfTask&) { schedule_drain(id); });
+  task->set_packet_release([this](pktio::Mbuf* pkt) { pool_.free(pkt); });
+  return id;
+}
+
+void Manager::start() {
+  assert(!started_);
+  started_ = true;
+  chain_counters_.assign(std::max<std::size_t>(chains_.size(), 1), {});
+  bp_ = std::make_unique<bp::BackpressureManager>(chains_, records_.size(),
+                                                  config_.backpressure);
+  ecn_ = std::make_unique<bp::EcnMarker>(records_.size(), config_.ecn);
+  engine_.schedule_periodic(config_.wakeup_period, [this] { wakeup_scan(); });
+  engine_.schedule_periodic(config_.monitor_period, [this] { monitor_tick(); });
+}
+
+void Manager::ingress(pktio::Mbuf* pkt, const pktio::FlowKey& key) {
+  assert(started_ && "call start() before sending traffic");
+  ++wire_ingress_;
+  const flow::FlowEntry* entry = flows_.lookup(key);
+  if (entry == nullptr) {
+    drop(pkt);  // unmatched traffic is not steered anywhere
+    return;
+  }
+  pkt->flow_id = entry->flow_id;
+  pkt->chain_id = entry->chain;
+  pkt->chain_pos = 0;
+  pkt->arrival_time = engine_.now();
+  pkt->key = key;
+  pkt->numa_node = static_cast<std::int8_t>(config_.nic_numa_node);
+
+  if (pkt->chain_id >= chain_counters_.size()) {
+    chain_counters_.resize(pkt->chain_id + 1);
+  }
+  auto& cc = chain_counters_[pkt->chain_id];
+
+  // Selective early discard: shed throttled chains where they first enter
+  // the system, before any CPU is spent on them (Fig. 5). The chain head
+  // still counts the packet as offered load for rate estimation.
+  if (config_.enable_backpressure && bp_->chain_throttled(pkt->chain_id)) {
+    ++records_[chains_.get(pkt->chain_id).hops.front()].counters.offered;
+    ++cc.entry_throttle_drops;
+    drop(pkt);
+    return;
+  }
+  ++cc.entry_admitted;
+  enqueue_to_nf(chains_.get(pkt->chain_id).hops.front(), pkt);
+}
+
+void Manager::enqueue_to_nf(flow::NfId nf_id, pktio::Mbuf* pkt) {
+  NfRecord& rec = records_[nf_id];
+  nf::NfTask& task = *rec.task;
+  ++rec.counters.offered;
+
+  if (config_.enable_ecn) {
+    auto& fc = flow_counters_;
+    if (ecn_->on_enqueue(nf_id, task.rx_ring(), *pkt)) {
+      if (pkt->flow_id >= fc.size()) fc.resize(pkt->flow_id + 1);
+      ++fc[pkt->flow_id].ecn_marked;
+    }
+  }
+
+  pkt->enqueue_time = engine_.now();
+  const pktio::EnqueueResult result = task.rx_ring().enqueue(pkt);
+  if (result == pktio::EnqueueResult::kFull) {
+    ++rec.counters.rx_full_drops;
+    if (pkt->chain_pos > 0) {
+      ++rec.counters.wasted_drops_here;
+      // Attribute the wasted work to the NF that processed it last.
+      const auto& hops = chains_.get(pkt->chain_id).hops;
+      ++records_[hops[pkt->chain_pos - 1]].counters.downstream_drops;
+    }
+    drop(pkt);
+    return;
+  }
+
+  ++rec.counters.rx_enqueued;
+  task.note_arrival();
+  if (result == pktio::EnqueueResult::kOkOverloaded) {
+    task.set_overload_flag(true);
+    if (config_.enable_backpressure) bp_->on_enqueue_feedback(nf_id, result);
+  }
+  if (config_.wake_on_arrival && !task.yield_flag()) {
+    rec.core->wake(&task);
+  }
+}
+
+void Manager::schedule_drain(flow::NfId nf_id) {
+  NfRecord& rec = records_[nf_id];
+  if (rec.drain_scheduled) return;
+  rec.drain_scheduled = true;
+  engine_.schedule_after(config_.tx_drain_latency,
+                         [this, nf_id] { drain_tx(nf_id); });
+}
+
+void Manager::drain_tx(flow::NfId nf_id) {
+  NfRecord& rec = records_[nf_id];
+  rec.drain_scheduled = false;
+
+  pktio::Mbuf* burst[256];
+  const std::size_t max_burst =
+      std::min<std::size_t>(config_.tx_burst, std::size(burst));
+  const bool was_full = rec.task->tx_ring().full();
+  const std::size_t n = rec.task->tx_ring().dequeue_burst(burst, max_burst);
+  for (std::size_t i = 0; i < n; ++i) {
+    pktio::Mbuf* pkt = burst[i];
+    const auto& hops = chains_.get(pkt->chain_id).hops;
+    ++pkt->chain_pos;
+    if (pkt->chain_pos >= hops.size()) {
+      egress(pkt);
+    } else {
+      enqueue_to_nf(hops[pkt->chain_pos], pkt);
+    }
+  }
+
+  if (!rec.task->tx_ring().empty()) schedule_drain(nf_id);
+  // Freed TX space may unblock a locally backpressured NF.
+  if (was_full && n > 0 && rec.task->has_runnable_work()) {
+    rec.core->wake(rec.task);
+  }
+}
+
+void Manager::egress(pktio::Mbuf* pkt) {
+  auto& cc = chain_counters_[pkt->chain_id];
+  ++cc.egress_packets;
+  cc.egress_bytes += pkt->size_bytes;
+  if (pkt->chain_id >= chain_latency_.size()) {
+    chain_latency_.resize(pkt->chain_id + 1);
+  }
+  chain_latency_[pkt->chain_id].record(engine_.now() - pkt->arrival_time);
+
+  if (pkt->flow_id >= flow_counters_.size()) {
+    flow_counters_.resize(pkt->flow_id + 1);
+  }
+  auto& fc = flow_counters_[pkt->flow_id];
+  ++fc.egress_packets;
+  fc.egress_bytes += pkt->size_bytes;
+
+  if (pkt->flow_id < egress_sinks_.size() && egress_sinks_[pkt->flow_id]) {
+    egress_sinks_[pkt->flow_id](*pkt);
+  }
+  pool_.free(pkt);
+}
+
+void Manager::drop(pktio::Mbuf* pkt) { pool_.free(pkt); }
+
+void Manager::set_egress_sink(flow::FlowId flow, EgressSink sink) {
+  if (flow >= egress_sinks_.size()) egress_sinks_.resize(flow + 1);
+  egress_sinks_[flow] = std::move(sink);
+}
+
+const ChainCounters& Manager::chain_counters(flow::ChainId id) const {
+  return id < chain_counters_.size() ? chain_counters_[id] : kZeroChain;
+}
+
+const Histogram& Manager::chain_latency(flow::ChainId id) const {
+  static const ChainLatency kEmptyLatency{};
+  return id < chain_latency_.size() ? chain_latency_[id].histogram()
+                                    : kEmptyLatency.histogram();
+}
+
+const FlowCounters& Manager::flow_counters(flow::FlowId id) const {
+  return id < flow_counters_.size() ? flow_counters_[id] : kZeroFlow;
+}
+
+void Manager::wakeup_scan() {
+  const Cycles now = engine_.now();
+  // Pass 1: advance every NF's backpressure state machine.
+  for (flow::NfId id = 0; id < records_.size(); ++id) {
+    nf::NfTask& task = *records_[id].task;
+    bp_->evaluate(id, task.rx_ring(), now);
+    if (task.rx_ring().below_low_watermark()) task.set_overload_flag(false);
+  }
+  // Pass 2: classify — apply backpressure (relinquish flags) or wake (§3.5).
+  for (flow::NfId id = 0; id < records_.size(); ++id) {
+    nf::NfTask& task = *records_[id].task;
+    const bool pause =
+        config_.enable_backpressure && bp_->should_pause_upstream(id);
+    task.set_yield_flag(pause);
+    if (pause || task.state() != sched::TaskState::kBlocked ||
+        !task.has_runnable_work()) {
+      continue;
+    }
+    // Coalescing: defer the wake until enough packets have pooled, but
+    // never hold a packet past the age threshold.
+    if (config_.wake_min_pending > 1 &&
+        task.rx_ring().size() < config_.wake_min_pending) {
+      const bool aged =
+          config_.wake_age_threshold > 0 && !task.rx_ring().empty() &&
+          now - task.rx_ring().head_enqueue_time() > config_.wake_age_threshold;
+      if (!aged) continue;
+    }
+    records_[id].core->wake(&task);
+  }
+}
+
+void Manager::monitor_tick() {
+  const Cycles now = engine_.now();
+  for (auto& rec : records_) {
+    const std::uint64_t offered = rec.counters.offered;
+    const auto delta = static_cast<double>(offered - rec.offered_at_last_tick);
+    rec.offered_at_last_tick = offered;
+    const double lambda =
+        delta / static_cast<double>(config_.monitor_period);  // pkts/cycle
+    auto service =
+        static_cast<double>(rec.task->estimated_service_time(now));
+    if (service > 0.0) {
+      rec.last_service = service;
+    } else {
+      service = rec.last_service;  // hold the last estimate through gaps
+    }
+    rec.has_estimate = service > 0.0;
+    rec.last_load = lambda * service;  // load(i) = λ_i · s_i  (§3.2)
+    rec.load_accum += rec.last_load;
+    rec.offered_accum += delta;
+  }
+  if (++monitor_ticks_ % config_.share_updates_every == 0) {
+    if (config_.enable_cgroups) update_shares();
+    for (auto& rec : records_) {
+      rec.load_accum = 0.0;
+      rec.offered_accum = 0.0;
+    }
+  }
+}
+
+void Manager::update_shares() {
+  // Shares_i = Priority_i · load(i) / TotalLoad(m), per shared core m.
+  // Loads are averaged over the ticks since the last update to smooth the
+  // 1 ms estimates before touching the (costly) cgroup filesystem.
+  std::vector<sched::Core*> seen;
+  for (auto& rec : records_) {
+    if (std::find(seen.begin(), seen.end(), rec.core) != seen.end()) continue;
+    seen.push_back(rec.core);
+    double total = 0.0;
+    for (auto& other : records_) {
+      if (other.core == rec.core) {
+        total += other.task->priority() * other.load_accum;
+      }
+    }
+    if (total <= 0.0) continue;
+    for (auto& other : records_) {
+      if (other.core != rec.core) continue;
+      // Bootstrap rule: an NF with offered traffic but no service-time
+      // estimate yet (warm-up samples still being discarded) keeps its
+      // current weight — writing a near-zero share would starve it before
+      // the estimator ever sees a sample.
+      if (!other.has_estimate && other.offered_accum > 0.0) continue;
+      const double frac = other.task->priority() * other.load_accum / total;
+      const auto shares = static_cast<std::uint32_t>(std::max(
+          static_cast<double>(config_.min_shares),
+          std::round(frac * config_.share_scale)));
+      cgroup_.set_shares(*other.task, shares);
+    }
+  }
+}
+
+}  // namespace nfv::mgr

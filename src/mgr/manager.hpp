@@ -1,0 +1,239 @@
+// The NF Manager (§3.1, Fig. 2).
+//
+// In OpenNetVM/NFVnice the manager's Rx, Tx, Wakeup and Monitor threads run
+// on dedicated cores and ferry packet descriptors between the NIC and NF
+// rings over shared memory. Here each thread is an event-driven actor:
+//
+//  * Rx path   — ingress(): flow-table lookup, chain-entry admission
+//                (selective early discard for throttled chains), enqueue to
+//                the first NF with ECN marking and watermark feedback.
+//  * Tx path   — per-NF drain events: move processed packets to the next NF
+//                in the chain (zero-copy descriptor hand-off) or out the
+//                wire; detect overload from the enqueue return value (§3.5).
+//  * Wakeup    — periodic scan that advances the backpressure state machine,
+//                sets/clears relinquish flags, and posts semaphores of NFs
+//                with pending work (§3.2 "Activating NFs", §3.5).
+//  * Monitor   — 1 ms load estimation (load = λ·s with s the median sampled
+//                service time) and 10 ms cgroup cpu.shares updates
+//                implementing Shares_i = Priority_i · load(i)/TotalLoad(m).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bp/backpressure.hpp"
+#include "bp/ecn.hpp"
+#include "common/histogram.hpp"
+#include "flow/flow_table.hpp"
+#include "flow/service_chain.hpp"
+#include "nf/nf_task.hpp"
+#include "pktio/flow_key.hpp"
+#include "pktio/mempool.hpp"
+#include "sched/cgroup.hpp"
+#include "sched/core.hpp"
+#include "sim/engine.hpp"
+
+namespace nfv::mgr {
+
+struct ManagerConfig {
+  // Feature toggles (the paper's "CGroup", "BKPR" and full-NFVnice bars).
+  bool enable_cgroups = true;
+  bool enable_backpressure = true;
+  bool enable_ecn = true;
+
+  /// Wake an NF directly from the enqueue path (netmap/ClickOS-style,
+  /// §3.2's comparison). NFVnice instead lets the Wakeup thread post the
+  /// semaphores (§3.1: "the Wakeup subsystem brings the NF process into
+  /// the runnable state"), which naturally coalesces wakeups to the scan
+  /// period — per-packet zero-latency wakes would hammer SCHED_NORMAL
+  /// with a wakeup-preemption storm no real semaphore could sustain.
+  bool wake_on_arrival = false;
+
+  /// Latency for a Tx thread to notice and move a processed packet
+  /// (manager runs on its own cores; ~100 ns).
+  Cycles tx_drain_latency = 260;
+  std::uint32_t tx_burst = 32;
+
+  /// Wakeup-thread scan period. The paper dedicates a spinning core to the
+  /// Wakeup thread, so its effective cadence is microseconds; 10 us keeps
+  /// the detect->throttle loop tight while still giving the hysteresis the
+  /// Tx/Wakeup separation provides (§3.5).
+  Cycles wakeup_period = 26'000;
+
+  /// Wakeup coalescing (§3.2: the activation policy "considers the number
+  /// of packets pending in its queue"). The Wakeup thread posts a blocked
+  /// NF's semaphore only once it has at least `wake_min_pending` packets
+  /// queued — unless the head packet has already waited
+  /// `wake_age_threshold` cycles (bounds added latency; 0 disables the
+  /// age escape). Defaults preserve wake-on-any-pending behaviour.
+  std::uint32_t wake_min_pending = 1;
+  Cycles wake_age_threshold = 0;
+  Cycles monitor_period = 2'600'000;   ///< 1 ms load estimation (§3.5).
+  std::uint32_t share_updates_every = 10;  ///< cgroup writes every 10 ms.
+  /// Scale factor from load fraction to cpu.shares.
+  double share_scale = 10240.0;
+  /// Floor on any loaded NF's shares (~0.5% of scale). §2.1: rate-cost
+  /// proportional fairness "ensures that all competing NFs get a minimal
+  /// CPU share necessary to progress" — and it is what lets a starved NF
+  /// keep producing the service-time samples the estimator feeds on. Kept
+  /// small so it does not distort the proportional allocation.
+  std::uint32_t min_shares = 50;
+
+  bp::BpConfig backpressure;
+  bp::EcnMarker::Config ecn;
+  Cycles cgroup_write_cost = 13'000;  ///< ~5 us sysfs write (§3.5).
+  /// NUMA node whose memory the NIC DMAs packets into.
+  int nic_numa_node = 0;
+};
+
+/// Counters the evaluation tables are built from.
+struct NfManagerCounters {
+  /// Packets destined for this NF, whether or not they were admitted —
+  /// including entry-throttle discards for a chain head and RX-full drops.
+  /// This is the λ_i in load(i) = λ_i·s_i: using the *offered* rate rather
+  /// than the admitted rate keeps the share computation from entering a
+  /// drop-more→weigh-less→drop-more spiral under backpressure.
+  std::uint64_t offered = 0;
+  std::uint64_t rx_enqueued = 0;    ///< Successfully placed on the RX ring.
+  std::uint64_t rx_full_drops = 0;  ///< Dropped: RX ring full.
+  /// Of rx_full_drops, packets that had already been processed by at least
+  /// one upstream NF — the paper's "wasted work" (Tables 3/5/6).
+  std::uint64_t wasted_drops_here = 0;
+  /// Packets processed by THIS NF that were later dropped at its immediate
+  /// downstream queue (how Table 3 attributes wasted work to NF1/NF2).
+  std::uint64_t downstream_drops = 0;
+};
+
+struct ChainCounters {
+  std::uint64_t entry_admitted = 0;
+  std::uint64_t entry_throttle_drops = 0;  ///< Selective early discard.
+  std::uint64_t egress_packets = 0;
+  std::uint64_t egress_bytes = 0;
+};
+
+/// Per-chain end-to-end latency (wire arrival -> wire egress), recorded in
+/// cycles in a log-bucketed histogram. Queriable at any quantile; the
+/// latency bench contrasts Default vs NFVnice tail latency under overload.
+class ChainLatency {
+ public:
+  ChainLatency() : histogram_(1ULL << 40, 8) {}
+  void record(Cycles latency) {
+    histogram_.record(static_cast<std::uint64_t>(latency));
+  }
+  [[nodiscard]] const Histogram& histogram() const { return histogram_; }
+
+ private:
+  Histogram histogram_;
+};
+
+struct FlowCounters {
+  std::uint64_t egress_packets = 0;
+  std::uint64_t egress_bytes = 0;
+  std::uint64_t ecn_marked = 0;
+};
+
+class Manager {
+ public:
+  using EgressSink = std::function<void(const pktio::Mbuf&)>;
+
+  Manager(sim::Engine& engine, pktio::MbufPool& pool, flow::FlowTable& flows,
+          flow::ChainRegistry& chains, ManagerConfig config = {});
+
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  /// Register an NF running on `core`. Returns its NfId (the id space the
+  /// chain registry uses). Wires libnf's callbacks to this manager.
+  flow::NfId register_nf(nf::NfTask* task, sched::Core* core);
+
+  /// Arm the Wakeup and Monitor threads. Call after all NFs and chains are
+  /// registered and before traffic starts.
+  void start();
+
+  /// Flip the control-plane features at runtime (they are consulted on
+  /// every packet). Used by config files and A/B experiments.
+  void set_features(bool cgroups, bool backpressure, bool ecn) {
+    config_.enable_cgroups = cgroups;
+    config_.enable_backpressure = backpressure;
+    config_.enable_ecn = ecn;
+  }
+  [[nodiscard]] const ManagerConfig& config() const { return config_; }
+
+  /// Rx-thread entry: a packet arrived from the wire. Takes ownership of
+  /// `pkt` (frees it on drop). `key` drives the flow-table lookup.
+  void ingress(pktio::Mbuf* pkt, const pktio::FlowKey& key);
+
+  /// Per-flow egress hook (TCP sources use it to observe deliveries and
+  /// ECN marks). The packet is freed after the sink returns.
+  void set_egress_sink(flow::FlowId flow, EgressSink sink);
+
+  // -- accessors ------------------------------------------------------------
+  [[nodiscard]] nf::NfTask& nf(flow::NfId id) { return *records_[id].task; }
+  [[nodiscard]] const NfManagerCounters& nf_counters(flow::NfId id) const {
+    return records_[id].counters;
+  }
+  [[nodiscard]] const ChainCounters& chain_counters(flow::ChainId id) const;
+  /// End-to-end latency histogram for a chain (empty until first egress).
+  [[nodiscard]] const Histogram& chain_latency(flow::ChainId id) const;
+  [[nodiscard]] const FlowCounters& flow_counters(flow::FlowId id) const;
+  [[nodiscard]] bp::BackpressureManager* backpressure() { return bp_.get(); }
+  [[nodiscard]] bp::EcnMarker* ecn() { return ecn_.get(); }
+  [[nodiscard]] const sched::CGroupController& cgroups() const { return cgroup_; }
+  [[nodiscard]] std::size_t nf_count() const { return records_.size(); }
+  [[nodiscard]] sched::Core* core_of(flow::NfId id) { return records_[id].core; }
+  /// Most recent load(i) estimate (dimensionless CPU demand fraction).
+  [[nodiscard]] double nf_load(flow::NfId id) const { return records_[id].last_load; }
+  [[nodiscard]] std::uint64_t wire_ingress() const { return wire_ingress_; }
+
+ private:
+  struct NfRecord {
+    nf::NfTask* task = nullptr;
+    sched::Core* core = nullptr;
+    NfManagerCounters counters;
+    bool drain_scheduled = false;
+    std::uint64_t offered_at_last_tick = 0;
+    double load_accum = 0.0;
+    double last_load = 0.0;
+    /// Offered packets seen since the last share update (drives the
+    /// "no estimate yet" bootstrap rule in update_shares()).
+    double offered_accum = 0.0;
+    bool has_estimate = false;
+    /// Last non-zero service-time estimate (cycles). An NF starved past
+    /// the sampling window would otherwise flap to "unknown" and destabilise
+    /// every other NF's weight through the shared denominator.
+    double last_service = 0.0;
+  };
+
+  void enqueue_to_nf(flow::NfId nf_id, pktio::Mbuf* pkt);
+  void schedule_drain(flow::NfId nf_id);
+  void drain_tx(flow::NfId nf_id);
+  void egress(pktio::Mbuf* pkt);
+  void wakeup_scan();
+  void monitor_tick();
+  void update_shares();
+  void drop(pktio::Mbuf* pkt);
+
+  sim::Engine& engine_;
+  pktio::MbufPool& pool_;
+  flow::FlowTable& flows_;
+  flow::ChainRegistry& chains_;
+  ManagerConfig config_;
+
+  std::vector<NfRecord> records_;
+  std::vector<ChainCounters> chain_counters_;
+  std::vector<ChainLatency> chain_latency_;
+  std::vector<FlowCounters> flow_counters_;
+  std::vector<EgressSink> egress_sinks_;
+
+  std::unique_ptr<bp::BackpressureManager> bp_;
+  std::unique_ptr<bp::EcnMarker> ecn_;
+  sched::CGroupController cgroup_;
+
+  std::uint64_t wire_ingress_ = 0;
+  std::uint32_t monitor_ticks_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace nfv::mgr

@@ -1,0 +1,46 @@
+#include "nf/cost_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace nfv::nf {
+
+CostModel CostModel::fixed(Cycles cycles) {
+  return CostModel(Kind::kFixed, {cycles}, 0);
+}
+
+CostModel CostModel::uniform_choice(std::vector<Cycles> choices,
+                                    std::uint64_t seed) {
+  assert(!choices.empty());
+  return CostModel(Kind::kUniformChoice, std::move(choices), seed);
+}
+
+CostModel CostModel::per_class(std::vector<Cycles> class_costs) {
+  assert(!class_costs.empty());
+  return CostModel(Kind::kPerClass, std::move(class_costs), 0);
+}
+
+Cycles CostModel::sample(const pktio::Mbuf& mbuf) {
+  Cycles base = 0;
+  switch (kind_) {
+    case Kind::kFixed:
+      base = values_[0];
+      break;
+    case Kind::kUniformChoice:
+      base = values_[rng_.next_below(values_.size())];
+      break;
+    case Kind::kPerClass:
+      base = values_[std::min<std::size_t>(mbuf.cost_class, values_.size() - 1)];
+      break;
+  }
+  const auto scaled = static_cast<Cycles>(static_cast<double>(base) * scale_);
+  return std::max<Cycles>(1, scaled);
+}
+
+Cycles CostModel::nominal() const {
+  const Cycles sum = std::accumulate(values_.begin(), values_.end(), Cycles{0});
+  return sum / static_cast<Cycles>(values_.size());
+}
+
+}  // namespace nfv::nf

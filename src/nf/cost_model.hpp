@@ -1,0 +1,56 @@
+// Per-packet processing-cost models.
+//
+// The paper's NFs are characterised by their per-packet CPU cost in cycles
+// (e.g. 120/270/550 in Fig. 7, up to 4500 in Table 5) and §2 stresses that
+// "an NF may have variable per-packet costs". The cost model captures the
+// variants the evaluation uses: fixed cost, a uniform choice among classes
+// (Fig. 10's 120/270/550 mix), a class looked up from packet metadata, and
+// a runtime scale knob for the dynamic-adaptation experiment (Fig. 15a,
+// where NF1's cost triples mid-run).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "pktio/mbuf.hpp"
+
+namespace nfv::nf {
+
+class CostModel {
+ public:
+  /// Every packet costs exactly `cycles`.
+  static CostModel fixed(Cycles cycles);
+
+  /// Each packet independently costs one of `choices`, uniformly at random
+  /// (deterministic under `seed`). Models §4.3.1's variable costs.
+  static CostModel uniform_choice(std::vector<Cycles> choices,
+                                  std::uint64_t seed = 0x5eed);
+
+  /// Cost selected by the packet's cost_class field (clamped to range).
+  static CostModel per_class(std::vector<Cycles> class_costs);
+
+  /// Cost of processing this packet now, including the dynamic scale.
+  [[nodiscard]] Cycles sample(const pktio::Mbuf& mbuf);
+
+  /// Multiply all costs by `scale` from now on (Fig. 15a's step change).
+  void set_scale(double scale) { scale_ = scale; }
+  [[nodiscard]] double scale() const { return scale_; }
+
+  /// Nominal (unscaled mean) cost, for reporting and capacity math.
+  [[nodiscard]] Cycles nominal() const;
+
+ private:
+  enum class Kind { kFixed, kUniformChoice, kPerClass };
+
+  CostModel(Kind kind, std::vector<Cycles> values, std::uint64_t seed)
+      : kind_(kind), values_(std::move(values)), rng_(seed) {}
+
+  Kind kind_;
+  std::vector<Cycles> values_;
+  Rng rng_;
+  double scale_ = 1.0;
+};
+
+}  // namespace nfv::nf

@@ -1,0 +1,164 @@
+#include "nf/nf_task.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace nfv::nf {
+
+NfTask::NfTask(sim::Engine& engine, Config config)
+    : sched::Task(config.name),
+      engine_(engine),
+      config_(config),
+      cost_(config.cost),
+      rx_ring_(config.rx_capacity, config.high_watermark, config.low_watermark),
+      tx_ring_(config.tx_capacity),
+      window_(config.sample_window),
+      warmup_left_(config.warmup_samples) {}
+
+void NfTask::attach_io(io::AsyncIoEngine* io_engine) {
+  io_ = io_engine;
+  if (io_ == nullptr) return;
+  // When the flush completes and a buffer frees up, the NF becomes
+  // runnable again; the completion context plays the manager's role of
+  // posting the semaphore.
+  io_->set_unblock_callback([this] {
+    if (state() == sched::TaskState::kBlocked && has_runnable_work()) {
+      core()->wake(this);
+    }
+  });
+}
+
+bool NfTask::has_runnable_work() const {
+  if (yield_flag_) return false;
+  if (io_ != nullptr && io_->would_block()) return false;
+  if (tx_ring_.full()) return false;
+  return current_pkt_ != nullptr || !rx_ring_.empty();
+}
+
+void NfTask::on_dispatch(Cycles now) {
+  if (current_pkt_ != nullptr && work_event_ == sim::kInvalidEventId) {
+    // Resume the packet that was in flight when we were preempted.
+    work_complete_time_ = now + resume_remaining_;
+    resume_remaining_ = 0;
+    work_event_ =
+        engine_.schedule_after(work_complete_time_ - now, [this] { on_packet_done(); });
+    return;
+  }
+  start_next_packet(now);
+}
+
+void NfTask::on_preempt(Cycles now) {
+  if (work_event_ != sim::kInvalidEventId) {
+    engine_.cancel(work_event_);
+    work_event_ = sim::kInvalidEventId;
+    resume_remaining_ = work_complete_time_ - now;
+    assert(resume_remaining_ >= 0);
+  }
+}
+
+void NfTask::start_next_packet(Cycles now) {
+  assert(current_pkt_ == nullptr);
+
+  // The relinquish flag is honoured at batch boundaries only (§3.2): here
+  // when a fresh batch would start, and in on_packet_done() after a full
+  // batch. Mid-batch changes wait for the boundary, as in libnf.
+  if (batch_count_ == 0 && yield_flag_) {
+    ++counters_.batch_yields;
+    block_self();
+    return;
+  }
+  if (io_ != nullptr && io_->would_block()) {
+    ++counters_.io_blocks;
+    block_self();
+    return;
+  }
+  if (tx_ring_.full()) {
+    // Local backpressure: "when the transmit ring out of an NF is full,
+    // that NF suspends processing packets until room is created" (§4.1).
+    ++counters_.tx_full_blocks;
+    block_self();
+    return;
+  }
+
+  pktio::Mbuf* pkt = rx_ring_.dequeue();
+  if (pkt == nullptr) {
+    ++counters_.empty_blocks;
+    block_self();
+    return;
+  }
+
+  current_pkt_ = pkt;
+  current_cost_ = cost_.sample(*pkt);
+  // First touch of a buffer produced on another socket costs extra; the
+  // data is local (cached here) from now on.
+  const int local_node = core()->numa_node();
+  if (pkt->numa_node != local_node) {
+    current_cost_ += config_.numa_penalty;
+    pkt->numa_node = static_cast<std::int8_t>(local_node);
+    ++counters_.numa_remote_packets;
+  }
+  work_complete_time_ = now + current_cost_;
+  work_event_ =
+      engine_.schedule_after(current_cost_, [this] { on_packet_done(); });
+}
+
+void NfTask::on_packet_done() {
+  const Cycles now = engine_.now();
+  work_event_ = sim::kInvalidEventId;
+  pktio::Mbuf* pkt = current_pkt_;
+  current_pkt_ = nullptr;
+
+  maybe_sample(now, current_cost_);
+  ++counters_.processed;
+
+  const NfAction action = handler_ ? handler_(*pkt) : NfAction::kForward;
+  if (action == NfAction::kDrop) {
+    ++counters_.handler_drops;
+    if (release_) release_(pkt);
+  } else {
+    // Room was guaranteed before the packet was started and only the
+    // manager's Tx thread drains this ring, so enqueue cannot fail.
+    const auto result = tx_ring_.enqueue(pkt);
+    assert(result != pktio::EnqueueResult::kFull);
+    (void)result;
+    ++counters_.forwarded;
+    if (tx_notify_) tx_notify_(*this);
+  }
+
+  // Batch boundary: after at most `batch_size` packets, honour the
+  // manager's relinquish flag (§3.2).
+  if (++batch_count_ >= config_.batch_size) {
+    batch_count_ = 0;
+    if (yield_flag_) {
+      ++counters_.batch_yields;
+      block_self();
+      return;
+    }
+  }
+
+  if (state() != sched::TaskState::kRunning) return;  // preempted meanwhile
+  start_next_packet(now);
+}
+
+void NfTask::block_self() {
+  batch_count_ = 0;
+  core()->yield_current(this, /*will_block=*/true);
+}
+
+void NfTask::maybe_sample(Cycles now, Cycles cost) {
+  // §3.5: per-packet rdtsc on every packet would flush the pipeline, so
+  // libnf samples roughly once per millisecond and the first few samples
+  // are discarded to account for cache warm-up.
+  if (now < next_sample_time_) return;
+  next_sample_time_ = now + config_.sample_interval;
+  if (warmup_left_ > 0) {
+    --warmup_left_;
+    return;
+  }
+  window_.record(now, static_cast<std::uint64_t>(cost));
+  histogram_.record(static_cast<std::uint64_t>(cost));
+}
+
+}  // namespace nfv::nf

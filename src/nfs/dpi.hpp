@@ -1,0 +1,87 @@
+// Deep-packet-inspection NF (signature matcher).
+//
+// DPI engines scan payloads against a signature set; our packets carry no
+// payload bytes, so the substitution (DESIGN.md) is a deterministic
+// per-packet synthetic "payload digest" derived from flow identity and
+// sequence number, scanned against configured signature digests. This
+// preserves what matters to the platform: per-packet work proportional to
+// the signature count, a hit/miss outcome, and flow-level alerting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "nf/nf_task.hpp"
+#include "pktio/flow_key.hpp"
+
+namespace nfv::nfs {
+
+class Dpi {
+ public:
+  enum class OnMatch { kAlertOnly, kDrop };
+
+  struct Signature {
+    std::string name;
+    std::uint64_t digest;
+    std::uint64_t hits = 0;
+  };
+
+  explicit Dpi(OnMatch action = OnMatch::kAlertOnly) : action_(action) {}
+
+  void add_signature(std::string name, std::uint64_t digest) {
+    signatures_.push_back(Signature{std::move(name), digest, 0});
+  }
+
+  /// Deterministic synthetic payload digest for a packet; tests and
+  /// traffic generators can precompute it to plant "malicious" packets.
+  [[nodiscard]] static std::uint64_t payload_digest(const pktio::Mbuf& pkt) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ULL;
+    };
+    mix(pkt.key.src_ip);
+    mix(pkt.key.dst_ip);
+    mix(pkt.key.src_port);
+    mix(pkt.seq % 97);  // a repeating "content" pattern within the flow
+    return h;
+  }
+
+  /// Scan one packet; returns true on a signature hit.
+  bool scan(const pktio::Mbuf& pkt) {
+    const std::uint64_t digest = payload_digest(pkt);
+    ++scanned_;
+    for (auto& sig : signatures_) {
+      if (sig.digest == digest) {
+        ++sig.hits;
+        ++alerts_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void install(nf::NfTask& task) {
+    task.set_handler([this](pktio::Mbuf& pkt) {
+      const bool hit = scan(pkt);
+      if (hit && action_ == OnMatch::kDrop) return nf::NfAction::kDrop;
+      return nf::NfAction::kForward;
+    });
+  }
+
+  [[nodiscard]] const std::vector<Signature>& signatures() const {
+    return signatures_;
+  }
+  [[nodiscard]] std::uint64_t scanned() const { return scanned_; }
+  [[nodiscard]] std::uint64_t alerts() const { return alerts_; }
+
+ private:
+  OnMatch action_;
+  std::vector<Signature> signatures_;
+  std::uint64_t scanned_ = 0;
+  std::uint64_t alerts_ = 0;
+};
+
+}  // namespace nfv::nfs

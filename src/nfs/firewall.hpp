@@ -1,0 +1,93 @@
+// Stateless firewall NF.
+//
+// One of the canonical middleboxes NFV replaces (§1). Evaluates an ordered
+// rule list against each packet's 5-tuple; first match wins; unmatched
+// packets take the default policy. Wildcards are expressed as masks (0 =
+// don't care), as in classic 5-tuple ACLs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nf/nf_task.hpp"
+#include "pktio/flow_key.hpp"
+
+namespace nfv::nfs {
+
+enum class Verdict { kAllow, kDeny };
+
+struct FirewallRule {
+  std::string name;
+  // Zero-valued fields are wildcards.
+  std::uint32_t src_ip = 0;
+  std::uint32_t src_mask = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint32_t dst_mask = 0;
+  std::uint16_t src_port = 0;  ///< 0 = any
+  std::uint16_t dst_port = 0;  ///< 0 = any
+  std::uint8_t proto = 0;      ///< 0 = any
+  Verdict verdict = Verdict::kAllow;
+
+  std::uint64_t hits = 0;
+
+  [[nodiscard]] bool matches(const pktio::FlowKey& key) const {
+    if ((key.src_ip & src_mask) != (src_ip & src_mask)) return false;
+    if ((key.dst_ip & dst_mask) != (dst_ip & dst_mask)) return false;
+    if (src_port != 0 && key.src_port != src_port) return false;
+    if (dst_port != 0 && key.dst_port != dst_port) return false;
+    if (proto != 0 && key.proto != proto) return false;
+    return true;
+  }
+};
+
+class Firewall {
+ public:
+  explicit Firewall(Verdict default_policy = Verdict::kAllow)
+      : default_policy_(default_policy) {}
+
+  /// Append a rule (evaluated in insertion order).
+  FirewallRule& add_rule(FirewallRule rule) {
+    rules_.push_back(std::move(rule));
+    return rules_.back();
+  }
+
+  /// Evaluate a packet; updates rule hit counters.
+  Verdict evaluate(const pktio::FlowKey& key) {
+    for (auto& rule : rules_) {
+      if (rule.matches(key)) {
+        ++rule.hits;
+        return rule.verdict;
+      }
+    }
+    ++default_hits_;
+    return default_policy_;
+  }
+
+  /// Install as the packet handler of `task`. The Firewall must outlive it.
+  void install(nf::NfTask& task) {
+    task.set_handler([this](pktio::Mbuf& pkt) {
+      const Verdict verdict = evaluate(pkt.key);
+      if (verdict == Verdict::kDeny) {
+        ++denied_;
+        return nf::NfAction::kDrop;
+      }
+      ++allowed_;
+      return nf::NfAction::kForward;
+    });
+  }
+
+  [[nodiscard]] const std::vector<FirewallRule>& rules() const { return rules_; }
+  [[nodiscard]] std::uint64_t allowed() const { return allowed_; }
+  [[nodiscard]] std::uint64_t denied() const { return denied_; }
+  [[nodiscard]] std::uint64_t default_hits() const { return default_hits_; }
+
+ private:
+  Verdict default_policy_;
+  std::vector<FirewallRule> rules_;
+  std::uint64_t allowed_ = 0;
+  std::uint64_t denied_ = 0;
+  std::uint64_t default_hits_ = 0;
+};
+
+}  // namespace nfv::nfs

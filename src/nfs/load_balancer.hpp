@@ -1,0 +1,63 @@
+// L4 load-balancer NF.
+//
+// Spreads connections over a backend pool. Two policies: flow-hash
+// (consistent for a connection — what an L4 LB must guarantee) and
+// round-robin per packet (for comparison in tests). Rewrites the packet's
+// destination to the chosen backend.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nf/nf_task.hpp"
+#include "pktio/flow_key.hpp"
+
+namespace nfv::nfs {
+
+class LoadBalancer {
+ public:
+  enum class Policy { kFlowHash, kRoundRobin };
+
+  struct Backend {
+    std::uint32_t ip;
+    std::uint64_t packets = 0;
+  };
+
+  LoadBalancer(std::vector<std::uint32_t> backend_ips,
+               Policy policy = Policy::kFlowHash)
+      : policy_(policy) {
+    for (const auto ip : backend_ips) backends_.push_back(Backend{ip});
+  }
+
+  /// Pick a backend for this packet and rewrite its destination.
+  std::uint32_t steer(pktio::Mbuf& pkt) {
+    std::size_t index = 0;
+    if (policy_ == Policy::kFlowHash) {
+      index = pktio::FlowKeyHash{}(pkt.key) % backends_.size();
+    } else {
+      index = next_rr_++ % backends_.size();
+    }
+    Backend& backend = backends_[index];
+    ++backend.packets;
+    pkt.key.dst_ip = backend.ip;
+    return backend.ip;
+  }
+
+  void install(nf::NfTask& task) {
+    task.set_handler([this](pktio::Mbuf& pkt) {
+      steer(pkt);
+      return nf::NfAction::kForward;
+    });
+  }
+
+  [[nodiscard]] const std::vector<Backend>& backends() const {
+    return backends_;
+  }
+
+ private:
+  Policy policy_;
+  std::vector<Backend> backends_;
+  std::size_t next_rr_ = 0;
+};
+
+}  // namespace nfv::nfs

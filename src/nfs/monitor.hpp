@@ -1,0 +1,65 @@
+// Flow-monitoring NF (per-flow accounting middlebox).
+//
+// §3.1 cites "a basic monitor NF" as a canonical small NF. Tracks per-flow
+// packet and byte counters keyed by the packet 5-tuple and can report the
+// top talkers — the workload of a NetFlow/IPFIX-style probe.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "nf/nf_task.hpp"
+#include "pktio/flow_key.hpp"
+
+namespace nfv::nfs {
+
+class FlowMonitor {
+ public:
+  struct FlowStats {
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  void observe(const pktio::Mbuf& pkt) {
+    auto& stats = flows_[pkt.key];
+    ++stats.packets;
+    stats.bytes += pkt.size_bytes;
+    ++total_packets_;
+  }
+
+  void install(nf::NfTask& task) {
+    task.set_handler([this](pktio::Mbuf& pkt) {
+      observe(pkt);
+      return nf::NfAction::kForward;
+    });
+  }
+
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+  [[nodiscard]] std::uint64_t total_packets() const { return total_packets_; }
+
+  [[nodiscard]] FlowStats stats_for(const pktio::FlowKey& key) const {
+    const auto it = flows_.find(key);
+    return it == flows_.end() ? FlowStats{} : it->second;
+  }
+
+  /// The k flows with the most bytes, descending.
+  [[nodiscard]] std::vector<std::pair<pktio::FlowKey, FlowStats>> top_talkers(
+      std::size_t k) const {
+    std::vector<std::pair<pktio::FlowKey, FlowStats>> all(flows_.begin(),
+                                                          flows_.end());
+    std::partial_sort(all.begin(), all.begin() + std::min(k, all.size()),
+                      all.end(), [](const auto& a, const auto& b) {
+                        return a.second.bytes > b.second.bytes;
+                      });
+    all.resize(std::min(k, all.size()));
+    return all;
+  }
+
+ private:
+  std::unordered_map<pktio::FlowKey, FlowStats, pktio::FlowKeyHash> flows_;
+  std::uint64_t total_packets_ = 0;
+};
+
+}  // namespace nfv::nfs

@@ -1,0 +1,111 @@
+// Source NAT (NAPT) NF.
+//
+// Rewrites the source address/port of outbound packets to a public address
+// with a per-connection allocated port, maintaining the translation table a
+// real NAPT middlebox keeps. Translations are stable for a connection's
+// lifetime and reclaimed when the port pool wraps (oldest-first), which is
+// the classic behaviour under port exhaustion.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "nf/nf_task.hpp"
+#include "pktio/flow_key.hpp"
+
+namespace nfv::nfs {
+
+class Nat {
+ public:
+  struct Config {
+    std::uint32_t public_ip = 0xc0a80001;  ///< 192.168.0.1
+    std::uint16_t port_base = 20000;
+    std::uint16_t port_count = 10000;
+  };
+
+  Nat() : Nat(Config{}) {}
+  explicit Nat(Config config) : config_(config) {}
+
+  struct Translation {
+    std::uint32_t orig_ip;
+    std::uint16_t orig_port;
+    std::uint16_t nat_port;
+  };
+
+  /// Translate (and rewrite) an outbound packet's source; allocates a new
+  /// binding on first sight of a connection.
+  void translate(pktio::Mbuf& pkt) {
+    const BindingKey key{pkt.key.src_ip, pkt.key.src_port, pkt.key.proto};
+    auto it = bindings_.find(key);
+    if (it == bindings_.end()) {
+      const std::uint16_t nat_port = allocate_port(key);
+      it = bindings_.emplace(key, nat_port).first;
+      ++allocations_;
+    }
+    pkt.key.src_ip = config_.public_ip;
+    pkt.key.src_port = it->second;
+    ++translated_;
+  }
+
+  void install(nf::NfTask& task) {
+    task.set_handler([this](pktio::Mbuf& pkt) {
+      translate(pkt);
+      return nf::NfAction::kForward;
+    });
+  }
+
+  /// Existing binding for a source (for tests/inspection); 0 if none.
+  [[nodiscard]] std::uint16_t binding(std::uint32_t ip, std::uint16_t port,
+                                      std::uint8_t proto) const {
+    const auto it = bindings_.find(BindingKey{ip, port, proto});
+    return it == bindings_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] std::size_t active_bindings() const { return bindings_.size(); }
+  [[nodiscard]] std::uint64_t translated() const { return translated_; }
+  [[nodiscard]] std::uint64_t allocations() const { return allocations_; }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct BindingKey {
+    std::uint32_t ip;
+    std::uint16_t port;
+    std::uint8_t proto;
+    friend bool operator==(const BindingKey&, const BindingKey&) = default;
+  };
+  struct BindingKeyHash {
+    std::size_t operator()(const BindingKey& k) const {
+      std::uint64_t h = k.ip;
+      h = h * 0x100000001b3ULL ^ k.port;
+      h = h * 0x100000001b3ULL ^ k.proto;
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  std::uint16_t allocate_port(const BindingKey& key) {
+    if (allocation_order_.size() >= config_.port_count) {
+      // Port pool exhausted: evict the oldest binding.
+      const BindingKey oldest = allocation_order_.front();
+      allocation_order_.pop_front();
+      const auto it = bindings_.find(oldest);
+      const std::uint16_t freed = it->second;
+      bindings_.erase(it);
+      ++evictions_;
+      allocation_order_.push_back(key);
+      return freed;
+    }
+    allocation_order_.push_back(key);
+    return static_cast<std::uint16_t>(config_.port_base +
+                                      allocation_order_.size() - 1);
+  }
+
+  Config config_;
+  std::unordered_map<BindingKey, std::uint16_t, BindingKeyHash> bindings_;
+  std::deque<BindingKey> allocation_order_;
+  std::uint64_t translated_ = 0;
+  std::uint64_t allocations_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace nfv::nfs

@@ -1,0 +1,44 @@
+// 5-tuple flow identity and hashing.
+//
+// The NF Manager's Rx threads look packets up in a flow table keyed by the
+// classic 5-tuple to find the service chain for the packet (§3.1). Hashing
+// follows the FNV-1a construction over the packed tuple.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace nfv::pktio {
+
+struct FlowKey {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 0;  ///< IPPROTO_UDP=17, IPPROTO_TCP=6.
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+};
+
+inline constexpr std::uint8_t kProtoTcp = 6;
+inline constexpr std::uint8_t kProtoUdp = 17;
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& key) const {
+    std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64-bit offset basis
+    auto mix = [&hash](std::uint64_t value, int bytes) {
+      for (int i = 0; i < bytes; ++i) {
+        hash ^= (value >> (8 * i)) & 0xff;
+        hash *= 0x100000001b3ULL;
+      }
+    };
+    mix(key.src_ip, 4);
+    mix(key.dst_ip, 4);
+    mix(key.src_port, 2);
+    mix(key.dst_port, 2);
+    mix(key.proto, 1);
+    return static_cast<std::size_t>(hash);
+  }
+};
+
+}  // namespace nfv::pktio

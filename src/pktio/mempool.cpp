@@ -1,0 +1,38 @@
+#include "pktio/mempool.hpp"
+
+#include <cassert>
+
+namespace nfv::pktio {
+
+MbufPool::MbufPool(std::uint32_t capacity) : capacity_(capacity) {
+  slots_.resize(capacity);
+  free_list_.reserve(capacity);
+  // Hand out low indices first: iterate in reverse so index 0 is on top.
+  for (std::uint32_t i = capacity; i-- > 0;) {
+    slots_[i].pool_index = i;
+    free_list_.push_back(i);
+  }
+}
+
+Mbuf* MbufPool::alloc() {
+  if (free_list_.empty()) {
+    ++alloc_failures_;
+    return nullptr;
+  }
+  const std::uint32_t index = free_list_.back();
+  free_list_.pop_back();
+  Mbuf& mbuf = slots_[index];
+  // Reset metadata but keep the identity field.
+  mbuf = Mbuf{};
+  mbuf.pool_index = index;
+  return &mbuf;
+}
+
+void MbufPool::free(Mbuf* mbuf) {
+  assert(mbuf != nullptr);
+  assert(mbuf >= slots_.data() && mbuf < slots_.data() + capacity_ &&
+         "mbuf does not belong to this pool");
+  free_list_.push_back(mbuf->pool_index);
+}
+
+}  // namespace nfv::pktio

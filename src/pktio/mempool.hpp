@@ -1,0 +1,39 @@
+// Fixed-capacity mbuf pool (DPDK rte_mempool stand-in).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pktio/mbuf.hpp"
+
+namespace nfv::pktio {
+
+class MbufPool {
+ public:
+  explicit MbufPool(std::uint32_t capacity);
+
+  MbufPool(const MbufPool&) = delete;
+  MbufPool& operator=(const MbufPool&) = delete;
+
+  /// Allocate one mbuf; returns nullptr when the pool is exhausted (the
+  /// generator then counts a wire drop, as a NIC would under mbuf pressure).
+  Mbuf* alloc();
+
+  /// Return an mbuf to the pool. The mbuf must have come from this pool and
+  /// must not be referenced afterwards.
+  void free(Mbuf* mbuf);
+
+  [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint32_t in_use() const {
+    return capacity_ - static_cast<std::uint32_t>(free_list_.size());
+  }
+  [[nodiscard]] std::uint64_t alloc_failures() const { return alloc_failures_; }
+
+ private:
+  std::uint32_t capacity_;
+  std::vector<Mbuf> slots_;
+  std::vector<std::uint32_t> free_list_;
+  std::uint64_t alloc_failures_ = 0;
+};
+
+}  // namespace nfv::pktio

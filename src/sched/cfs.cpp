@@ -1,0 +1,94 @@
+#include "sched/cfs.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nfv::sched {
+
+CfsScheduler::CfsScheduler(SchedParams params, bool batch)
+    : params_(params), batch_(batch) {}
+
+void CfsScheduler::enqueue(Task* task, bool is_wakeup) {
+  if (is_wakeup) {
+    // place_entity(): a waking sleeper is placed slightly behind
+    // min_vruntime (GENTLE_FAIR_SLEEPERS halves the latency credit) so it
+    // gets service soon but cannot monopolise the CPU after a long sleep.
+    const double thresh = static_cast<double>(params_.sched_latency) / 2.0;
+    task->set_vruntime(std::max(task->vruntime(), min_vruntime_ - thresh));
+  }
+  const bool inserted = queue_.insert(task).second;
+  assert(inserted && "task already queued");
+  (void)inserted;
+  update_min_vruntime();
+}
+
+void CfsScheduler::remove(Task* task) {
+  if (queue_.erase(task) > 0) {
+    update_min_vruntime();
+  }
+}
+
+Task* CfsScheduler::pick_next() {
+  if (queue_.empty()) return nullptr;
+  Task* task = *queue_.begin();
+  queue_.erase(queue_.begin());
+  return task;
+}
+
+Cycles CfsScheduler::timeslice(const Task* task) const {
+  // __sched_period(): latency target stretched when more tasks than fit at
+  // min_granularity each. The running task is no longer in queue_, so count
+  // and weigh it explicitly.
+  const std::size_t nr = queue_.size() + 1;
+  const Cycles period =
+      std::max(params_.sched_latency,
+               static_cast<Cycles>(nr) * params_.min_granularity);
+  const double total_weight =
+      static_cast<double>(queued_weight() + task->weight());
+  const auto slice = static_cast<Cycles>(
+      static_cast<double>(period) * static_cast<double>(task->weight()) /
+      total_weight);
+  return std::max(slice, params_.min_granularity);
+}
+
+bool CfsScheduler::should_resched_on_tick(const Task* current,
+                                          Cycles ran_so_far) const {
+  // check_preempt_tick(): the kernel's periodic tick enforces the fair
+  // slice. The vruntime-vs-leftmost clause is what lets a frequently
+  // sleeping task (low vruntime) displace a CPU hog within one slice even
+  // under SCHED_BATCH — without it, batch workloads starve interactive
+  // ones for whole latency periods.
+  if (queue_.empty()) return false;
+  const Cycles ideal = timeslice(current);
+  if (ran_so_far >= ideal) return true;
+  if (ran_so_far < params_.min_granularity) return false;
+  const double delta = current->vruntime() - (*queue_.begin())->vruntime();
+  // Kernel quirk preserved: virtual-time delta compared against the
+  // wall-clock ideal slice.
+  return delta > static_cast<double>(ideal);
+}
+
+bool CfsScheduler::should_preempt_on_wake(const Task* woken,
+                                          const Task* current,
+                                          Cycles ran_so_far) const {
+  if (batch_) return false;  // SCHED_BATCH: no wakeup preemption.
+  if (current == nullptr) return false;
+  // check_preempt_wakeup(): preempt when the waking task's vruntime deficit
+  // exceeds the wakeup granularity converted to the waker's virtual time.
+  const double curr_v =
+      current->vruntime() + vdelta(ran_so_far, current->weight());
+  const double gran = vdelta(params_.wakeup_granularity, woken->weight());
+  return curr_v - woken->vruntime() > gran;
+}
+
+void CfsScheduler::on_run_end(Task* task, Cycles ran) {
+  task->add_vruntime(vdelta(ran, task->weight()));
+}
+
+void CfsScheduler::update_min_vruntime() {
+  if (!queue_.empty()) {
+    min_vruntime_ = std::max(min_vruntime_, (*queue_.begin())->vruntime());
+  }
+}
+
+}  // namespace nfv::sched

@@ -1,0 +1,18 @@
+#include "sched/cgroup.hpp"
+
+#include <algorithm>
+
+namespace nfv::sched {
+
+Cycles CGroupController::set_shares(Task& task, std::uint32_t shares) {
+  shares = std::clamp(shares, kMinShares, kMaxShares);
+  if (task.weight() == shares) {
+    ++skipped_;
+    return 0;
+  }
+  task.set_weight(shares);
+  ++writes_;
+  return write_cost_;
+}
+
+}  // namespace nfv::sched

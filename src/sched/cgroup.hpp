@@ -1,0 +1,44 @@
+// cgroup cpu.shares control surface.
+//
+// NFVnice manipulates scheduling weights exclusively through cgroups — "a
+// standard user space primitive provided by the operating system" (§3) — so
+// no kernel changes are needed. This controller models the cpu cgroup's
+// shares file: a write re-weights the task inside CFS, costs ~5 us of the
+// Monitor thread's time (§3.5, §4.3.8), and is skipped when the value is
+// unchanged (as NFVnice's manager does to stay off the sysfs path).
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "sched/task.hpp"
+
+namespace nfv::sched {
+
+class CGroupController {
+ public:
+  /// Kernel bounds for cpu.shares.
+  static constexpr std::uint32_t kMinShares = 2;
+  static constexpr std::uint32_t kMaxShares = 262144;
+
+  explicit CGroupController(Cycles write_cost = 13000 /* 5 us @ 2.6 GHz */)
+      : write_cost_(write_cost) {}
+
+  /// Write `shares` to the task's cgroup. Returns the cycles consumed by
+  /// the write (0 when skipped because the value did not change); the
+  /// caller (Monitor thread) charges that to its own core.
+  Cycles set_shares(Task& task, std::uint32_t shares);
+
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+  [[nodiscard]] std::uint64_t skipped_writes() const { return skipped_; }
+  [[nodiscard]] Cycles total_write_cost() const {
+    return static_cast<Cycles>(writes_) * write_cost_;
+  }
+
+ private:
+  Cycles write_cost_;
+  std::uint64_t writes_ = 0;
+  std::uint64_t skipped_ = 0;
+};
+
+}  // namespace nfv::sched

@@ -1,0 +1,111 @@
+// A simulated CPU core hosting one scheduling policy and many tasks.
+//
+// The Core is the meeting point between the event engine and the scheduler
+// policy. Preemption is driven the way the kernel drives it: a periodic
+// scheduler tick (CONFIG_HZ=1000 on the paper's lowlatency 3.19 kernel, so
+// 1 ms) asks the policy whether the running task must be rescheduled
+// (check_preempt_tick for CFS, slice decrement for RR), and wakeups run the
+// policy's wakeup-preemption test (SCHED_NORMAL only). The Core charges
+// context-switch overhead, and keeps the per-task accounting the paper's
+// tables report. NF Manager threads (Rx/Tx/Wakeup/Monitor) run on dedicated
+// cores in the paper and are therefore modelled as plain event handlers,
+// not Tasks; only NFs (and any other contending processes) are scheduled
+// here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "sched/task.hpp"
+#include "sim/engine.hpp"
+
+namespace nfv::sched {
+
+struct CoreConfig {
+  /// Direct cost of a context switch (register save/restore, runqueue
+  /// manipulation, TLB/cache disturbance amortised). ~1.5 us on the
+  /// paper's Xeon E5-2697v3 => ~3900 cycles at 2.6 GHz.
+  Cycles context_switch_cost = 3900;
+  /// Scheduler tick period; 1 ms = CONFIG_HZ=1000 (lowlatency kernel).
+  Cycles tick_period = 2'600'000;
+  /// NUMA node this core belongs to (§1: NF scheduling "has to be
+  /// cognizant of NUMA concerns"). The paper's testbed is dual-socket;
+  /// packets handed between NFs on different nodes pay a remote-memory
+  /// penalty per packet (see PlatformConfig::numa_penalty).
+  int numa_node = 0;
+};
+
+class Core {
+ public:
+  Core(sim::Engine& engine, std::unique_ptr<Scheduler> scheduler,
+       CoreConfig config = {}, std::string name = "core");
+  ~Core();
+
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  /// Register a task on this core. Tasks start Blocked; call wake() to make
+  /// them runnable. The task must outlive the core's use of it.
+  void add_task(Task* task);
+
+  /// Semaphore-notify semantics: transition Blocked -> Runnable; no-op if
+  /// already runnable or running. May preempt the current task if the
+  /// policy's wakeup-preemption test passes.
+  void wake(Task* task);
+
+  /// Called by the *currently running* task to give up the CPU.
+  /// `will_block` => the task sleeps on its semaphore (Blocked) until the
+  /// next wake(); otherwise it stays runnable and is requeued.
+  void yield_current(Task* task, bool will_block);
+
+  [[nodiscard]] Task* current() const { return current_; }
+  [[nodiscard]] Scheduler& scheduler() { return *scheduler_; }
+  [[nodiscard]] const Scheduler& scheduler() const { return *scheduler_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+
+  /// Cycles spent running tasks (excludes switch overhead); live.
+  [[nodiscard]] Cycles busy_cycles() const;
+  /// Cycles spent on context-switch overhead.
+  [[nodiscard]] Cycles switch_overhead_cycles() const { return switch_overhead_; }
+  /// Busy fraction over (window_start, now] given a busy_cycles() snapshot
+  /// taken at window_start.
+  [[nodiscard]] double utilization(Cycles window_start, Cycles busy_snapshot) const;
+
+  [[nodiscard]] const std::vector<Task*>& tasks() const { return tasks_; }
+  [[nodiscard]] int numa_node() const { return config_.numa_node; }
+
+ private:
+  void schedule_dispatch();
+  void start_running(Task* task);
+  void on_tick();
+  void preempt_current();
+  void account_running(bool stint_ends);
+
+  sim::Engine& engine_;
+  std::unique_ptr<Scheduler> scheduler_;
+  CoreConfig config_;
+  std::string name_;
+
+  std::vector<Task*> tasks_;
+  std::uint64_t next_task_id_ = 1;
+
+  Task* current_ = nullptr;
+  Task* last_ran_ = nullptr;
+  Cycles stint_start_ = 0;    ///< Dispatch time of the current stint.
+  Cycles account_start_ = 0;  ///< Last point runtime/vruntime were charged.
+  sim::EventId tick_event_ = sim::kInvalidEventId;
+  /// Pending start_running() while the context-switch cost elapses. The
+  /// next task is already `current_` during this window (as in the kernel,
+  /// where there is no instant at which nobody is curr), so wakeups can
+  /// preempt it before it begins work.
+  sim::EventId dispatch_event_ = sim::kInvalidEventId;
+
+  Cycles busy_ = 0;
+  Cycles switch_overhead_ = 0;
+};
+
+}  // namespace nfv::sched

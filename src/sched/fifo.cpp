@@ -1,0 +1,18 @@
+#include "sched/fifo.hpp"
+
+#include <algorithm>
+
+namespace nfv::sched {
+
+void FifoScheduler::remove(Task* task) {
+  queue_.erase(std::remove(queue_.begin(), queue_.end(), task), queue_.end());
+}
+
+Task* FifoScheduler::pick_next() {
+  if (queue_.empty()) return nullptr;
+  Task* task = queue_.front();
+  queue_.pop_front();
+  return task;
+}
+
+}  // namespace nfv::sched

@@ -1,0 +1,50 @@
+// SCHED_FIFO: run-to-completion real-time class.
+//
+// The sibling of SCHED_RR without a timeslice: a task keeps the CPU until
+// it blocks or yields; same-priority tasks never preempt each other. Not
+// evaluated in the paper, but the natural worst case for its "malicious
+// NFs (those that fail to yield)" argument — a hog under FIFO starves the
+// core outright, which NFVnice's relinquish flags cannot fix (the flag is
+// only honoured by cooperating libnf loops).
+#pragma once
+
+#include <deque>
+
+#include "sched/scheduler.hpp"
+
+namespace nfv::sched {
+
+class FifoScheduler : public Scheduler {
+ public:
+  FifoScheduler() = default;
+
+  void enqueue(Task* task, bool /*is_wakeup*/) override {
+    queue_.push_back(task);
+  }
+  void remove(Task* task) override;
+  Task* pick_next() override;
+  [[nodiscard]] Cycles timeslice(const Task* /*task*/) const override {
+    return kNoSlice;
+  }
+  [[nodiscard]] bool should_resched_on_tick(const Task* /*current*/,
+                                            Cycles /*ran*/) const override {
+    return false;  // run to completion
+  }
+  [[nodiscard]] bool should_preempt_on_wake(const Task* /*woken*/,
+                                            const Task* /*current*/,
+                                            Cycles /*ran*/) const override {
+    return false;  // equal priority: no preemption
+  }
+  void on_run_end(Task* /*task*/, Cycles /*ran*/) override {}
+  [[nodiscard]] std::size_t runnable_count() const override {
+    return queue_.size();
+  }
+  [[nodiscard]] const char* name() const override { return "SCHED_FIFO"; }
+
+ private:
+  /// Sentinel "slice" (diagnostic only; ticks never reschedule FIFO).
+  static constexpr Cycles kNoSlice = Cycles{1} << 60;
+  std::deque<Task*> queue_;
+};
+
+}  // namespace nfv::sched

@@ -1,0 +1,42 @@
+#include "sched/rr.hpp"
+
+#include <algorithm>
+
+namespace nfv::sched {
+
+void RrScheduler::enqueue(Task* task, bool /*is_wakeup*/) {
+  queue_.push_back(task);
+}
+
+void RrScheduler::remove(Task* task) {
+  queue_.erase(std::remove(queue_.begin(), queue_.end(), task), queue_.end());
+}
+
+Task* RrScheduler::pick_next() {
+  if (queue_.empty()) return nullptr;
+  Task* task = queue_.front();
+  queue_.pop_front();
+  return task;
+}
+
+Cycles RrScheduler::timeslice(const Task* /*task*/) const {
+  return params_.rr_quantum;
+}
+
+bool RrScheduler::should_resched_on_tick(const Task* /*current*/,
+                                         Cycles ran_so_far) const {
+  // task_tick_rt(): decrement the slice each tick; requeue when used up
+  // (and only if someone else is waiting — the Core checks queue state).
+  return ran_so_far >= params_.rr_quantum;
+}
+
+bool RrScheduler::should_preempt_on_wake(const Task* /*woken*/,
+                                         const Task* /*current*/,
+                                         Cycles /*ran_so_far*/) const {
+  // Same-priority SCHED_RR tasks never preempt each other on wakeup.
+  return false;
+}
+
+void RrScheduler::on_run_end(Task* /*task*/, Cycles /*ran*/) {}
+
+}  // namespace nfv::sched

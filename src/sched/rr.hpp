@@ -1,0 +1,39 @@
+// SCHED_RR: fixed-quantum round robin (real-time class).
+//
+// §2.2: "The Round Robin scheduler simply cycles through processes with a
+// 100 msec time quantum, but does not attempt to offer any concept of
+// fairness." The paper also evaluates RR with a 1 ms slice (§4). Tasks run
+// until they block/yield or the quantum expires, then go to the tail.
+#pragma once
+
+#include <deque>
+
+#include "sched/scheduler.hpp"
+
+namespace nfv::sched {
+
+class RrScheduler : public Scheduler {
+ public:
+  explicit RrScheduler(SchedParams params) : params_(params) {}
+
+  void enqueue(Task* task, bool is_wakeup) override;
+  void remove(Task* task) override;
+  Task* pick_next() override;
+  [[nodiscard]] Cycles timeslice(const Task* task) const override;
+  [[nodiscard]] bool should_resched_on_tick(const Task* current,
+                                            Cycles ran_so_far) const override;
+  [[nodiscard]] bool should_preempt_on_wake(const Task* woken,
+                                            const Task* current,
+                                            Cycles ran_so_far) const override;
+  void on_run_end(Task* task, Cycles ran) override;
+  [[nodiscard]] std::size_t runnable_count() const override {
+    return queue_.size();
+  }
+  [[nodiscard]] const char* name() const override { return "SCHED_RR"; }
+
+ private:
+  SchedParams params_;
+  std::deque<Task*> queue_;
+};
+
+}  // namespace nfv::sched

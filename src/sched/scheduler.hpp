@@ -1,0 +1,80 @@
+// Scheduling-policy interface.
+//
+// NFVnice deliberately does NOT replace the kernel scheduler; it tunes stock
+// policies from user space (§3.2). We therefore implement the three policies
+// the paper evaluates behind one interface the Core drives: CFS Normal,
+// CFS Batch, and Round-Robin with a configurable quantum.
+#pragma once
+
+#include <cstddef>
+
+#include "common/time.hpp"
+#include "sched/task.hpp"
+
+namespace nfv::sched {
+
+/// Tunables mirroring the kernel knobs the paper's testbed ran with
+/// (Ubuntu lowlatency 3.19 kernel). All values are in cycles; use
+/// SchedParams::defaults() to build them from a CpuClock.
+struct SchedParams {
+  Cycles sched_latency = 0;       ///< CFS targeted preemption latency (6 ms).
+  Cycles min_granularity = 0;     ///< CFS minimum slice (0.75 ms).
+  Cycles wakeup_granularity = 0;  ///< CFS wakeup preemption granularity (1 ms).
+  Cycles rr_quantum = 0;          ///< RR timeslice (paper: 1 ms and 100 ms).
+
+  static SchedParams defaults(const CpuClock& clock) {
+    SchedParams p;
+    p.sched_latency = clock.from_millis(6.0);
+    p.min_granularity = clock.from_millis(0.75);
+    // The paper's testbed runs Ubuntu's *lowlatency* kernel, which trades
+    // context switches for responsiveness; a tight wakeup granularity is
+    // what produces Table 2's tens-of-thousands of involuntary switches
+    // under NORMAL while BATCH (no wakeup preemption) stays in the
+    // hundreds.
+    p.wakeup_granularity = clock.from_millis(0.1);
+    p.rr_quantum = clock.from_millis(100.0);
+    return p;
+  }
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Make `task` runnable. `is_wakeup` distinguishes a blocked->runnable
+  /// transition (vruntime re-placement applies) from a preempted task being
+  /// put back (vruntime already current).
+  virtual void enqueue(Task* task, bool is_wakeup) = 0;
+
+  /// Remove a task that is leaving the runnable set without running (rare;
+  /// used when tearing an experiment down).
+  virtual void remove(Task* task) = 0;
+
+  /// Pop the next task to run; nullptr if none.
+  virtual Task* pick_next() = 0;
+
+  /// Ideal timeslice for `task` given current contention (diagnostic; the
+  /// Core preempts via should_resched_on_tick, as the kernel's periodic
+  /// tick does).
+  [[nodiscard]] virtual Cycles timeslice(const Task* task) const = 0;
+
+  /// Periodic-tick preemption check (kernel: task_tick_fair ->
+  /// check_preempt_tick / task_tick_rt). `ran_so_far` is CPU time consumed
+  /// since this dispatch; `current`'s vruntime is already up to date.
+  [[nodiscard]] virtual bool should_resched_on_tick(const Task* current,
+                                                    Cycles ran_so_far) const = 0;
+
+  /// Should `woken` preempt `current`, which has run `ran_so_far` cycles of
+  /// its current stint?
+  [[nodiscard]] virtual bool should_preempt_on_wake(const Task* woken,
+                                                    const Task* current,
+                                                    Cycles ran_so_far) const = 0;
+
+  /// Account `ran` cycles of CPU to `task` at the end of a running stint.
+  virtual void on_run_end(Task* task, Cycles ran) = 0;
+
+  [[nodiscard]] virtual std::size_t runnable_count() const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+}  // namespace nfv::sched

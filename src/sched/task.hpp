@@ -1,0 +1,103 @@
+// Schedulable task abstraction.
+//
+// Each network function in NFVnice runs in its own process (§3.2); the
+// kernel's CPU scheduler picks which runs. A Task is our stand-in for that
+// process: it carries the scheduler-visible state (runnable/blocked,
+// vruntime, weight from its cgroup's cpu.shares) and the accounting the
+// paper reports (voluntary/involuntary context switches for Tables 1-2,
+// runtime and scheduling latency for Table 4, CPU utilisation for
+// Tables 5-6). Subclasses implement the work model: on_dispatch() starts or
+// resumes the process's instruction stream, on_preempt() suspends it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace nfv::sched {
+
+class Core;
+
+enum class TaskState {
+  kBlocked,   ///< Sleeping on its semaphore; invisible to the scheduler.
+  kRunnable,  ///< On a run queue waiting for CPU.
+  kRunning,   ///< Currently on the CPU.
+};
+
+/// Default cgroup cpu.shares / CFS nice-0 weight.
+inline constexpr std::uint32_t kDefaultWeight = 1024;
+
+struct TaskStats {
+  std::uint64_t voluntary_switches = 0;    ///< Yield/block while runnable work done.
+  std::uint64_t involuntary_switches = 0;  ///< Preempted by the scheduler.
+  std::uint64_t wakeups = 0;
+  Cycles runtime = 0;               ///< Total CPU time consumed.
+  Cycles sched_latency_total = 0;   ///< Σ (dispatch time - wake time).
+  std::uint64_t sched_latency_samples = 0;
+
+  [[nodiscard]] double avg_sched_latency_cycles() const {
+    return sched_latency_samples == 0
+               ? 0.0
+               : static_cast<double>(sched_latency_total) /
+                     static_cast<double>(sched_latency_samples);
+  }
+};
+
+class Task {
+ public:
+  Task(std::string name, std::uint32_t weight = kDefaultWeight)
+      : name_(std::move(name)), weight_(weight) {}
+  virtual ~Task() = default;
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  /// The core gives this task the CPU at `now`. The task must begin
+  /// scheduling its own work-completion events and eventually call
+  /// Core::yield_current() (unless preempted first).
+  virtual void on_dispatch(Cycles now) = 0;
+
+  /// The core takes the CPU away at `now` (quantum expiry or wakeup
+  /// preemption). The task must cancel in-flight work events and remember
+  /// partial progress so on_dispatch() can resume mid-packet.
+  virtual void on_preempt(Cycles now) = 0;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] TaskState state() const { return state_; }
+  [[nodiscard]] std::uint32_t weight() const { return weight_; }
+  void set_weight(std::uint32_t weight) { weight_ = weight == 0 ? 1 : weight; }
+
+  [[nodiscard]] double vruntime() const { return vruntime_; }
+  void set_vruntime(double v) { vruntime_ = v; }
+  void add_vruntime(double delta) { vruntime_ += delta; }
+
+  [[nodiscard]] Core* core() const { return core_; }
+
+  [[nodiscard]] const TaskStats& stats() const { return stats_; }
+  TaskStats& mutable_stats() { return stats_; }
+
+  /// Unique id assigned when the task is added to a core; breaks vruntime
+  /// ties deterministically.
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+ private:
+  friend class Core;
+  void bind(Core* core, std::uint64_t id) {
+    core_ = core;
+    id_ = id;
+  }
+  void set_state(TaskState next) { state_ = next; }
+
+  std::string name_;
+  std::uint32_t weight_;
+  double vruntime_ = 0.0;
+  TaskState state_ = TaskState::kBlocked;
+  Core* core_ = nullptr;
+  std::uint64_t id_ = 0;
+  TaskStats stats_;
+  Cycles last_wake_time_ = 0;
+  bool woken_since_dispatch_ = false;
+};
+
+}  // namespace nfv::sched

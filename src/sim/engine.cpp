@@ -1,0 +1,83 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace nfv::sim {
+
+EventId Engine::schedule_at(Cycles when, Callback cb) {
+  assert(when >= now_ && "cannot schedule into the past");
+  if (when < now_) when = now_;
+  const EventId id = next_id_++;
+  heap_.push(Event{when, id, std::move(cb)});
+  return id;
+}
+
+EventId Engine::schedule_periodic(Cycles period, Callback cb) {
+  assert(period > 0);
+  const EventId logical = next_id_++;
+  // The re-arming wrapper owns the user callback; each occurrence updates
+  // the logical->occurrence map so cancel(logical) always finds the live one.
+  auto rearm = std::make_shared<Callback>();
+  auto shared_cb = std::make_shared<Callback>(std::move(cb));
+  *rearm = [this, logical, period, shared_cb, rearm]() {
+    (*shared_cb)();
+    // The callback may have cancelled the periodic task.
+    auto it = periodic_current_.find(logical);
+    if (it == periodic_current_.end()) return;
+    it->second = schedule_at(now_ + period, *rearm);
+  };
+  periodic_current_[logical] = schedule_at(now_ + period, *rearm);
+  return logical;
+}
+
+bool Engine::cancel(EventId id) {
+  if (id == kInvalidEventId) return false;
+  if (auto it = periodic_current_.find(id); it != periodic_current_.end()) {
+    const EventId occurrence = it->second;
+    periodic_current_.erase(it);
+    cancelled_.insert(occurrence);
+    return true;
+  }
+  // One-shot: only mark if plausibly pending (ids are monotonically issued).
+  if (id >= next_id_) return false;
+  return cancelled_.insert(id).second;
+}
+
+std::uint64_t Engine::run_until(Cycles deadline) {
+  std::uint64_t n = 0;
+  while (!heap_.empty() && heap_.top().when <= deadline) {
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.when;
+    ev.cb();
+    ++n;
+    ++dispatched_;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+std::uint64_t Engine::run() {
+  std::uint64_t n = 0;
+  while (!heap_.empty()) {
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.when;
+    ev.cb();
+    ++n;
+    ++dispatched_;
+  }
+  return n;
+}
+
+}  // namespace nfv::sim

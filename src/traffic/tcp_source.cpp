@@ -1,0 +1,78 @@
+#include "traffic/tcp_source.hpp"
+
+#include <algorithm>
+
+namespace nfv::traffic {
+
+TcpSource::TcpSource(sim::Engine& engine, mgr::Manager& manager,
+                     pktio::MbufPool& pool, flow::FlowId flow_id,
+                     Config config)
+    : engine_(engine),
+      manager_(manager),
+      pool_(pool),
+      flow_id_(flow_id),
+      config_(config),
+      cwnd_(config.initial_cwnd),
+      ssthresh_(config.initial_ssthresh) {}
+
+void TcpSource::start() {
+  manager_.set_egress_sink(flow_id_, [this](const pktio::Mbuf& pkt) {
+    ++delivered_total_;
+    if (pkt.ecn_marked) ++marks_seen_;
+  });
+  const Cycles first = std::max(config_.start_time, engine_.now());
+  engine_.schedule_at(first, [this] { send_window(); });
+}
+
+void TcpSource::send_window() {
+  if (config_.stop_time >= 0 && engine_.now() >= config_.stop_time) return;
+  window_target_ = cwnd_;
+  window_emitted_ = 0;
+  delivered_at_window_start_ = delivered_total_;
+  marks_at_window_start_ = marks_seen_;
+  emit_packet();
+}
+
+void TcpSource::emit_packet() {
+  pktio::Mbuf* pkt = pool_.alloc();
+  if (pkt != nullptr) {
+    pkt->size_bytes = config_.size_bytes;
+    pkt->is_tcp = true;
+    pkt->ecn_capable = config_.ecn_capable;
+    pkt->seq = sent_total_;
+    ++sent_total_;
+    manager_.ingress(pkt, config_.key);
+  }
+  ++window_emitted_;
+
+  if (window_emitted_ < window_target_) {
+    // Pace the window evenly across the RTT.
+    engine_.schedule_after(config_.rtt / window_target_,
+                           [this] { emit_packet(); });
+  } else {
+    // Acks for the tail of the window arrive one RTT after it was sent.
+    engine_.schedule_after(config_.rtt, [this] { evaluate_window(); });
+  }
+}
+
+void TcpSource::evaluate_window() {
+  const std::uint64_t delivered = delivered_total_ - delivered_at_window_start_;
+  const std::uint64_t marked = marks_seen_ - marks_at_window_start_;
+  const bool lost = delivered < window_target_;
+
+  if (lost || marked > 0) {
+    // Multiplicative decrease, once per RTT (RFC 3168 §6.1.2 for marks).
+    ssthresh_ = std::max<std::uint32_t>(2, cwnd_ / 2);
+    cwnd_ = ssthresh_;
+    ++congestion_events_;
+    if (!lost && marked > 0) ++ecn_backoffs_;
+  } else if (cwnd_ < ssthresh_) {
+    cwnd_ = std::min(cwnd_ * 2, ssthresh_);  // slow start
+  } else {
+    cwnd_ = std::min(cwnd_ + 1, config_.max_cwnd);  // congestion avoidance
+  }
+  cwnd_ = std::max<std::uint32_t>(1, std::min(cwnd_, config_.max_cwnd));
+  send_window();
+}
+
+}  // namespace nfv::traffic

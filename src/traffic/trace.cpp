@@ -1,0 +1,105 @@
+#include "traffic/trace.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nfv::traffic {
+
+std::vector<TraceRecord> read_trace(std::istream& in) {
+  std::vector<TraceRecord> records;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream iss(line);
+    TraceRecord rec;
+    unsigned src_port = 0, dst_port = 0, proto = 0, size = 0;
+    std::uint32_t src_ip = 0, dst_ip = 0;
+    if (!(iss >> rec.time_us >> src_ip >> dst_ip >> src_port >> dst_port >>
+          proto >> size)) {
+      throw std::runtime_error("trace line " + std::to_string(line_no) +
+                               ": expected 7 fields");
+    }
+    rec.key = pktio::FlowKey{src_ip, dst_ip, static_cast<std::uint16_t>(src_port),
+                             static_cast<std::uint16_t>(dst_port),
+                             static_cast<std::uint8_t>(proto)};
+    rec.size_bytes = static_cast<std::uint16_t>(size);
+    records.push_back(rec);
+  }
+  // Replay requires nondecreasing timestamps.
+  if (!std::is_sorted(records.begin(), records.end(),
+                      [](const TraceRecord& a, const TraceRecord& b) {
+                        return a.time_us < b.time_us;
+                      })) {
+    throw std::runtime_error("trace timestamps must be nondecreasing");
+  }
+  return records;
+}
+
+void write_trace(std::ostream& out, const std::vector<TraceRecord>& records) {
+  out << "# time_us src_ip dst_ip src_port dst_port proto size_bytes\n";
+  for (const TraceRecord& rec : records) {
+    out << rec.time_us << ' ' << rec.key.src_ip << ' ' << rec.key.dst_ip << ' '
+        << rec.key.src_port << ' ' << rec.key.dst_port << ' '
+        << static_cast<unsigned>(rec.key.proto) << ' ' << rec.size_bytes
+        << '\n';
+  }
+}
+
+TraceSource::TraceSource(sim::Engine& engine, mgr::Manager& manager,
+                         pktio::MbufPool& pool, const CpuClock& clock,
+                         std::vector<TraceRecord> records, Config config)
+    : engine_(engine),
+      manager_(manager),
+      pool_(pool),
+      clock_(clock),
+      records_(std::move(records)),
+      config_(config),
+      loops_left_(std::max(1, config.loop_count)) {}
+
+void TraceSource::start() {
+  if (records_.empty()) {
+    finished_ = true;
+    return;
+  }
+  loop_base_ = std::max(config_.start_time, engine_.now());
+  const Cycles first = loop_base_ + clock_.from_micros(records_[0].time_us *
+                                                       config_.time_scale);
+  engine_.schedule_at(first, [this] { emit_next(); });
+}
+
+void TraceSource::emit_next() {
+  const TraceRecord& rec = records_[index_];
+  pktio::Mbuf* pkt = pool_.alloc();
+  if (pkt == nullptr) {
+    ++alloc_drops_;
+  } else {
+    pkt->size_bytes = rec.size_bytes;
+    pkt->is_tcp = rec.key.proto == pktio::kProtoTcp;
+    pkt->seq = sent_;
+    ++sent_;
+    manager_.ingress(pkt, rec.key);
+  }
+
+  ++index_;
+  if (index_ >= records_.size()) {
+    index_ = 0;
+    if (--loops_left_ <= 0) {
+      finished_ = true;
+      return;
+    }
+    // Next loop starts after the full trace duration has elapsed.
+    loop_base_ += clock_.from_micros(records_.back().time_us *
+                                     config_.time_scale);
+  }
+  const Cycles next = loop_base_ + clock_.from_micros(records_[index_].time_us *
+                                                      config_.time_scale);
+  engine_.schedule_at(std::max(next, engine_.now()), [this] { emit_next(); });
+}
+
+}  // namespace nfv::traffic

@@ -1,0 +1,58 @@
+#include "traffic/udp_source.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nfv::traffic {
+
+UdpSource::UdpSource(sim::Engine& engine, mgr::Manager& manager,
+                     pktio::MbufPool& pool, const CpuClock& clock,
+                     Config config)
+    : engine_(engine),
+      manager_(manager),
+      pool_(pool),
+      config_(config),
+      rng_(config.seed ^ config.key.src_ip) {
+  assert(config_.rate_pps > 0.0);
+  interval_ = std::max<Cycles>(1, clock.from_seconds(1.0 / config_.rate_pps));
+}
+
+void UdpSource::start() {
+  const Cycles first = std::max(config_.start_time, engine_.now());
+  engine_.schedule_at(first, [this] { emit(); });
+}
+
+void UdpSource::emit() {
+  if (config_.stop_time >= 0 && engine_.now() >= config_.stop_time) return;
+
+  pktio::Mbuf* pkt = pool_.alloc();
+  if (pkt == nullptr) {
+    ++alloc_drops_;
+  } else {
+    pkt->size_bytes = config_.size_bytes;
+    pkt->is_tcp = false;
+    pkt->seq = sent_;
+    if (config_.cost_classes > 0) {
+      pkt->cost_class = next_class_;
+      next_class_ = static_cast<std::uint8_t>((next_class_ + 1) %
+                                              config_.cost_classes);
+    }
+    ++sent_;
+    manager_.ingress(pkt, config_.key);
+  }
+  // Zero-mean uniform jitter keeps the long-run rate exact while breaking
+  // inter-flow phase locking; Poisson mode draws exponential gaps instead.
+  Cycles gap = interval_;
+  if (config_.poisson) {
+    gap = static_cast<Cycles>(
+        rng_.next_exponential(static_cast<double>(interval_)));
+  } else if (config_.jitter_fraction > 0.0) {
+    const double u = 2.0 * rng_.next_double() - 1.0;  // [-1, 1)
+    gap += static_cast<Cycles>(u * config_.jitter_fraction *
+                               static_cast<double>(interval_));
+  }
+  if (gap < 1) gap = 1;
+  engine_.schedule_after(gap, [this] { emit(); });
+}
+
+}  // namespace nfv::traffic

@@ -1,0 +1,184 @@
+#include "bp/backpressure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pktio/mempool.hpp"
+
+namespace nfv::bp {
+namespace {
+
+// Builds the Fig. 8 topology: chain1 = NF0->NF1->NF3, chain2 = NF0->NF2->NF3.
+class BackpressureTest : public ::testing::Test {
+ protected:
+  BackpressureTest() {
+    chain1_ = chains_.add("chain1", {0, 1, 3});
+    chain2_ = chains_.add("chain2", {0, 2, 3});
+    bp_ = std::make_unique<BackpressureManager>(chains_, 4, config_);
+  }
+
+  /// Push the ring to `n` entries with the given head enqueue time.
+  void fill(pktio::Ring& ring, std::size_t n, Cycles when) {
+    while (ring.size() < n) {
+      pktio::Mbuf* m = pool_.alloc();
+      m->enqueue_time = when;
+      ring.enqueue(m);
+    }
+  }
+  void drain(pktio::Ring& ring, std::size_t down_to) {
+    while (ring.size() > down_to) pool_.free(ring.dequeue());
+  }
+
+  flow::ChainRegistry chains_;
+  flow::ChainId chain1_ = 0, chain2_ = 0;
+  BpConfig config_{.queuing_time_threshold = 1000};
+  std::unique_ptr<BackpressureManager> bp_;
+  pktio::MbufPool pool_{4096};
+};
+
+TEST_F(BackpressureTest, StartsClear) {
+  for (flow::NfId nf = 0; nf < 4; ++nf) {
+    EXPECT_EQ(bp_->state(nf), ThrottleState::kClear);
+  }
+  EXPECT_FALSE(bp_->chain_throttled(chain1_));
+  EXPECT_FALSE(bp_->chain_throttled(chain2_));
+}
+
+TEST_F(BackpressureTest, EnqueueFeedbackMovesToWatch) {
+  bp_->on_enqueue_feedback(1, pktio::EnqueueResult::kOkOverloaded);
+  EXPECT_EQ(bp_->state(1), ThrottleState::kWatch);
+  EXPECT_EQ(bp_->stats().watch_entries, 1u);
+}
+
+TEST_F(BackpressureTest, OkFeedbackStaysClear) {
+  bp_->on_enqueue_feedback(1, pktio::EnqueueResult::kOk);
+  EXPECT_EQ(bp_->state(1), ThrottleState::kClear);
+}
+
+TEST_F(BackpressureTest, EvaluateEscalatesWatchToThrottleAfterThreshold) {
+  pktio::Ring ring(64, 0.8, 0.6);  // high at 51
+  fill(ring, 52, /*when=*/0);
+  EXPECT_EQ(bp_->evaluate(1, ring, 10), ThrottleState::kWatch);
+  // Head queued only 10 cycles: below the 1000-cycle threshold.
+  EXPECT_EQ(bp_->evaluate(1, ring, 500), ThrottleState::kWatch);
+  // Past the threshold: throttle.
+  EXPECT_EQ(bp_->evaluate(1, ring, 2000), ThrottleState::kThrottle);
+  EXPECT_EQ(bp_->stats().throttle_entries, 1u);
+  drain(ring, 0);
+}
+
+TEST_F(BackpressureTest, ThrottleMarksExactlyChainsThroughNf) {
+  pktio::Ring ring(64, 0.8, 0.6);
+  fill(ring, 52, 0);
+  bp_->evaluate(1, ring, 10);
+  bp_->evaluate(1, ring, 5000);
+  ASSERT_EQ(bp_->state(1), ThrottleState::kThrottle);
+  // NF1 only carries chain1; chain2 (through NF2) must be untouched.
+  EXPECT_TRUE(bp_->chain_throttled(chain1_));
+  EXPECT_FALSE(bp_->chain_throttled(chain2_));
+  drain(ring, 0);
+}
+
+TEST_F(BackpressureTest, SharedNfThrottlesBothChains) {
+  pktio::Ring ring(64, 0.8, 0.6);
+  fill(ring, 52, 0);
+  bp_->evaluate(3, ring, 10);
+  bp_->evaluate(3, ring, 5000);
+  EXPECT_TRUE(bp_->chain_throttled(chain1_));
+  EXPECT_TRUE(bp_->chain_throttled(chain2_));
+  drain(ring, 0);
+}
+
+TEST_F(BackpressureTest, HysteresisClearsOnlyBelowLowWatermark) {
+  pktio::Ring ring(64, 0.8, 0.6);  // high 51, low 38
+  fill(ring, 52, 0);
+  bp_->evaluate(1, ring, 10);
+  bp_->evaluate(1, ring, 5000);
+  ASSERT_EQ(bp_->state(1), ThrottleState::kThrottle);
+  // Drain to between the marks: still throttled (hysteresis).
+  drain(ring, 45);
+  EXPECT_EQ(bp_->evaluate(1, ring, 6000), ThrottleState::kThrottle);
+  // Below the low mark: cleared.
+  drain(ring, 30);
+  EXPECT_EQ(bp_->evaluate(1, ring, 7000), ThrottleState::kClear);
+  EXPECT_FALSE(bp_->chain_throttled(chain1_));
+  EXPECT_EQ(bp_->stats().throttle_clears, 1u);
+  drain(ring, 0);
+}
+
+TEST_F(BackpressureTest, WatchFallsBackToClear) {
+  pktio::Ring ring(64, 0.8, 0.6);
+  fill(ring, 52, 0);
+  bp_->evaluate(1, ring, 10);
+  ASSERT_EQ(bp_->state(1), ThrottleState::kWatch);
+  drain(ring, 10);
+  EXPECT_EQ(bp_->evaluate(1, ring, 20), ThrottleState::kClear);
+  drain(ring, 0);
+}
+
+TEST_F(BackpressureTest, ShortBurstNeverThrottles) {
+  // §3.5: "a short burst of packets causing an NF to exceed its threshold
+  // may have already been processed by the time the Wakeup thread
+  // considers it" — the queuing-time condition absorbs bursts.
+  pktio::Ring ring(64, 0.8, 0.6);
+  fill(ring, 52, /*when=*/0);
+  bp_->evaluate(1, ring, 100);  // watch
+  drain(ring, 0);               // burst absorbed before the next scan
+  EXPECT_EQ(bp_->evaluate(1, ring, 200), ThrottleState::kClear);
+  EXPECT_EQ(bp_->stats().throttle_entries, 0u);
+}
+
+TEST_F(BackpressureTest, UpstreamPauseOnlyWhenAllChainsThrottled) {
+  // Throttle NF1 (chain1's middle hop): NF0 also serves chain2, so NF0
+  // must NOT be paused (that would head-of-line block chain2).
+  pktio::Ring ring(64, 0.8, 0.6);
+  fill(ring, 52, 0);
+  bp_->evaluate(1, ring, 10);
+  bp_->evaluate(1, ring, 5000);
+  ASSERT_TRUE(bp_->chain_throttled(chain1_));
+  EXPECT_FALSE(bp_->should_pause_upstream(0));
+  drain(ring, 0);
+}
+
+TEST_F(BackpressureTest, UpstreamPauseWhenEveryChainThrottledDownstream) {
+  // Throttle NF3 (tail shared by both chains): NF0, NF1 and NF2 are all
+  // strictly upstream of a throttling NF in every chain they serve.
+  pktio::Ring ring(64, 0.8, 0.6);
+  fill(ring, 52, 0);
+  bp_->evaluate(3, ring, 10);
+  bp_->evaluate(3, ring, 5000);
+  EXPECT_TRUE(bp_->should_pause_upstream(0));
+  EXPECT_TRUE(bp_->should_pause_upstream(1));
+  EXPECT_TRUE(bp_->should_pause_upstream(2));
+  // The bottleneck itself must keep running to drain.
+  EXPECT_FALSE(bp_->should_pause_upstream(3));
+  drain(ring, 0);
+}
+
+TEST_F(BackpressureTest, NfOutsideAnyChainNeverPaused) {
+  EXPECT_FALSE(bp_->should_pause_upstream(3));
+  flow::ChainRegistry empty_chains;
+  BackpressureManager bp(empty_chains, 2, config_);
+  EXPECT_FALSE(bp.should_pause_upstream(0));
+}
+
+TEST_F(BackpressureTest, MultipleThrottlersRequireAllToClear) {
+  pktio::Ring ring1(64, 0.8, 0.6), ring3(64, 0.8, 0.6);
+  fill(ring1, 52, 0);
+  fill(ring3, 52, 0);
+  bp_->evaluate(1, ring1, 10);
+  bp_->evaluate(3, ring3, 10);
+  bp_->evaluate(1, ring1, 5000);
+  bp_->evaluate(3, ring3, 5000);
+  EXPECT_TRUE(bp_->chain_throttled(chain1_));  // throttled by NF1 AND NF3
+  drain(ring1, 0);
+  bp_->evaluate(1, ring1, 6000);  // NF1 clears
+  EXPECT_TRUE(bp_->chain_throttled(chain1_));  // NF3 still throttles it
+  drain(ring3, 0);
+  bp_->evaluate(3, ring3, 7000);
+  EXPECT_FALSE(bp_->chain_throttled(chain1_));
+}
+
+}  // namespace
+}  // namespace nfv::bp

@@ -1,0 +1,130 @@
+#include "bp/ecn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pktio/mempool.hpp"
+
+namespace nfv::bp {
+namespace {
+
+pktio::Mbuf tcp_pkt() {
+  pktio::Mbuf m;
+  m.is_tcp = true;
+  m.ecn_capable = true;
+  return m;
+}
+
+TEST(Ecn, NeverMarksBelowMinThreshold) {
+  EcnMarker marker(1);
+  pktio::Ring ring(128);  // min threshold at 20% => ~25 entries
+  auto pkt = tcp_pkt();
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(marker.on_enqueue(0, ring, pkt));  // ring is empty
+  }
+  EXPECT_EQ(marker.marks(), 0u);
+}
+
+TEST(Ecn, AlwaysMarksAboveMaxThreshold) {
+  EcnMarker marker(1);
+  pktio::MbufPool pool(256);
+  pktio::Ring ring(128);
+  while (ring.size() < 120) ring.enqueue(pool.alloc());  // ~94% full
+  // Let the EWMA converge to the full queue.
+  auto pkt = tcp_pkt();
+  for (int i = 0; i < 500; ++i) marker.on_enqueue(0, ring, pkt);
+  pkt.ecn_marked = false;
+  EXPECT_TRUE(marker.on_enqueue(0, ring, pkt));
+  EXPECT_TRUE(pkt.ecn_marked);
+}
+
+TEST(Ecn, MarksProbabilisticallyBetweenThresholds) {
+  EcnMarker::Config cfg;
+  cfg.ewma_weight = 1.0;  // follow the instantaneous queue
+  EcnMarker marker(1, cfg);
+  pktio::MbufPool pool(256);
+  pktio::Ring ring(128);
+  while (ring.size() < 51) ring.enqueue(pool.alloc());  // 40%: mid-ramp
+  int marks = 0;
+  for (int i = 0; i < 10000; ++i) {
+    auto pkt = tcp_pkt();
+    if (marker.on_enqueue(0, ring, pkt)) ++marks;
+  }
+  // Ramp midpoint: ~ max_mark_prob / 2 = 5%.
+  EXPECT_GT(marks, 200);
+  EXPECT_LT(marks, 1000);
+}
+
+TEST(Ecn, NeverMarksUdp) {
+  EcnMarker::Config cfg;
+  cfg.ewma_weight = 1.0;
+  EcnMarker marker(1, cfg);
+  pktio::MbufPool pool(256);
+  pktio::Ring ring(128);
+  while (ring.size() < 127) ring.enqueue(pool.alloc());
+  pktio::Mbuf udp;  // is_tcp = false
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(marker.on_enqueue(0, ring, udp));
+  }
+}
+
+TEST(Ecn, NeverMarksNonEcnCapableTcp) {
+  EcnMarker::Config cfg;
+  cfg.ewma_weight = 1.0;
+  EcnMarker marker(1, cfg);
+  pktio::MbufPool pool(256);
+  pktio::Ring ring(128);
+  while (ring.size() < 127) ring.enqueue(pool.alloc());
+  pktio::Mbuf pkt;
+  pkt.is_tcp = true;
+  pkt.ecn_capable = false;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(marker.on_enqueue(0, ring, pkt));
+  }
+}
+
+TEST(Ecn, AlreadyMarkedPacketNotRemarked) {
+  EcnMarker::Config cfg;
+  cfg.ewma_weight = 1.0;
+  EcnMarker marker(1, cfg);
+  pktio::MbufPool pool(256);
+  pktio::Ring ring(128);
+  while (ring.size() < 127) ring.enqueue(pool.alloc());
+  auto pkt = tcp_pkt();
+  pkt.ecn_marked = true;
+  EXPECT_FALSE(marker.on_enqueue(0, ring, pkt));
+  EXPECT_EQ(marker.marks(), 0u);
+}
+
+TEST(Ecn, EwmaSmoothsBursts) {
+  // A transient full queue must not immediately push the average over the
+  // marking threshold when the weight is small (§3.3: "ECN works at longer
+  // timescales").
+  EcnMarker::Config cfg;
+  cfg.ewma_weight = 0.01;
+  EcnMarker marker(1, cfg);
+  pktio::MbufPool pool(256);
+  pktio::Ring empty_ring(128);
+  auto pkt = tcp_pkt();
+  for (int i = 0; i < 200; ++i) marker.on_enqueue(0, empty_ring, pkt);
+  pktio::Ring full_ring(128);
+  while (!full_ring.full()) full_ring.enqueue(pool.alloc());
+  EXPECT_FALSE(marker.on_enqueue(0, full_ring, pkt));  // avg still ~0
+  EXPECT_LT(marker.average_queue(0), 5.0);
+}
+
+TEST(Ecn, PerNfAveragesAreIndependent) {
+  EcnMarker::Config cfg;
+  cfg.ewma_weight = 1.0;
+  EcnMarker marker(2, cfg);
+  pktio::MbufPool pool(256);
+  pktio::Ring full(128), empty(128);
+  while (full.size() < 127) full.enqueue(pool.alloc());
+  auto pkt = tcp_pkt();
+  marker.on_enqueue(0, full, pkt);
+  marker.on_enqueue(1, empty, pkt);
+  EXPECT_GT(marker.average_queue(0), 100.0);
+  EXPECT_LT(marker.average_queue(1), 1.0);
+}
+
+}  // namespace
+}  // namespace nfv::bp

@@ -1,0 +1,57 @@
+#include "common/ewma.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nfv {
+namespace {
+
+TEST(Ewma, UninitialisedIsZero) {
+  Ewma e;
+  EXPECT_FALSE(e.initialised());
+  EXPECT_EQ(e.value(), 0.0);
+}
+
+TEST(Ewma, FirstObservationSetsValue) {
+  Ewma e(0.1);
+  e.observe(42.0);
+  EXPECT_TRUE(e.initialised());
+  EXPECT_DOUBLE_EQ(e.value(), 42.0);
+}
+
+TEST(Ewma, MovesTowardNewSamples) {
+  Ewma e(0.5);
+  e.observe(0.0);
+  e.observe(100.0);
+  EXPECT_DOUBLE_EQ(e.value(), 50.0);
+  e.observe(100.0);
+  EXPECT_DOUBLE_EQ(e.value(), 75.0);
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  Ewma e(0.125);
+  e.observe(0.0);
+  for (int i = 0; i < 200; ++i) e.observe(80.0);
+  EXPECT_NEAR(e.value(), 80.0, 0.01);
+}
+
+TEST(Ewma, SmallAlphaSmoothsBursts) {
+  Ewma slow(0.01), fast(0.9);
+  slow.observe(0.0);
+  fast.observe(0.0);
+  slow.observe(1000.0);
+  fast.observe(1000.0);
+  EXPECT_LT(slow.value(), fast.value());
+  EXPECT_NEAR(slow.value(), 10.0, 1e-9);
+}
+
+TEST(Ewma, ResetForgetsHistory) {
+  Ewma e(0.5);
+  e.observe(10.0);
+  e.reset();
+  EXPECT_FALSE(e.initialised());
+  e.observe(3.0);
+  EXPECT_DOUBLE_EQ(e.value(), 3.0);
+}
+
+}  // namespace
+}  // namespace nfv

@@ -1,0 +1,82 @@
+#include "common/moving_window.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nfv {
+namespace {
+
+TEST(MovingWindow, EmptyWindow) {
+  MovingWindow w(1000);
+  EXPECT_EQ(w.size(0), 0u);
+  EXPECT_EQ(w.median(0), 0u);
+  EXPECT_EQ(w.mean(0), 0.0);
+}
+
+TEST(MovingWindow, SingleSample) {
+  MovingWindow w(1000);
+  w.record(10, 270);
+  EXPECT_EQ(w.size(10), 1u);
+  EXPECT_EQ(w.median(10), 270u);
+  EXPECT_DOUBLE_EQ(w.mean(10), 270.0);
+}
+
+TEST(MovingWindow, MedianOfOddCount) {
+  MovingWindow w(1000);
+  w.record(1, 100);
+  w.record(2, 300);
+  w.record(3, 200);
+  EXPECT_EQ(w.median(3), 200u);
+}
+
+TEST(MovingWindow, OldSamplesExpire) {
+  MovingWindow w(100);
+  w.record(0, 1000);
+  w.record(150, 50);
+  // At t=150 the first sample (age 150 > window 100) is gone.
+  EXPECT_EQ(w.size(150), 1u);
+  EXPECT_EQ(w.median(150), 50u);
+}
+
+TEST(MovingWindow, ExpiryIsLazyButConsistent) {
+  MovingWindow w(100);
+  w.record(0, 1);
+  w.record(50, 2);
+  w.record(100, 3);
+  EXPECT_EQ(w.size(100), 3u);  // sample at t=0 is exactly at the edge
+  EXPECT_EQ(w.size(101), 2u);
+  EXPECT_EQ(w.size(200), 1u);  // only the t=100 sample (age == window) left
+  EXPECT_EQ(w.size(201), 0u);
+}
+
+TEST(MovingWindow, MedianRobustToOutliers) {
+  MovingWindow w(10000);
+  for (Cycles t = 0; t < 99; ++t) w.record(t, 250);
+  w.record(99, 1000000);  // one I/O-inflated outlier (the §3.5 rationale)
+  EXPECT_EQ(w.median(99), 250u);
+}
+
+TEST(MovingWindow, QuantileBounds) {
+  MovingWindow w(10000);
+  for (Cycles t = 0; t < 100; ++t) w.record(t, 100 + t);
+  EXPECT_LE(w.quantile(100, 0.0), w.quantile(100, 0.5));
+  EXPECT_LE(w.quantile(100, 0.5), w.quantile(100, 1.0));
+  EXPECT_EQ(w.quantile(100, 1.0), 199u);
+}
+
+TEST(MovingWindow, MeanTracksWindow) {
+  MovingWindow w(100);
+  w.record(0, 100);
+  w.record(10, 200);
+  EXPECT_DOUBLE_EQ(w.mean(10), 150.0);
+  EXPECT_DOUBLE_EQ(w.mean(110), 200.0);  // first sample expired
+}
+
+TEST(MovingWindow, ClearEmpties) {
+  MovingWindow w(100);
+  w.record(0, 5);
+  w.clear();
+  EXPECT_EQ(w.size(0), 0u);
+}
+
+}  // namespace
+}  // namespace nfv

@@ -1,0 +1,81 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nfv {
+namespace {
+
+TEST(JainIndex, PerfectlyFair) {
+  EXPECT_DOUBLE_EQ(jain_fairness_index({1.0, 1.0, 1.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness_index({0.25, 0.25}), 1.0);
+}
+
+TEST(JainIndex, SingleValueIsFair) {
+  EXPECT_DOUBLE_EQ(jain_fairness_index({5.0}), 1.0);
+}
+
+TEST(JainIndex, EmptyIsFairByConvention) {
+  EXPECT_DOUBLE_EQ(jain_fairness_index({}), 1.0);
+}
+
+TEST(JainIndex, AllZeroIsFairByConvention) {
+  EXPECT_DOUBLE_EQ(jain_fairness_index({0.0, 0.0}), 1.0);
+}
+
+TEST(JainIndex, TotallyUnfairApproaches1OverN) {
+  // One user hogs everything: J = 1/n.
+  EXPECT_DOUBLE_EQ(jain_fairness_index({1.0, 0.0, 0.0, 0.0}), 0.25);
+}
+
+TEST(JainIndex, PaperStyleUnfairness) {
+  // Fig. 15b-style: CFS gives flow1 1.02 Mpps and flow6 0.07 Mpps etc.;
+  // the index must land well below 1.
+  const double j =
+      jain_fairness_index({1.02, 0.51, 0.20, 0.05, 0.026, 0.017});
+  EXPECT_LT(j, 0.65);
+  EXPECT_GT(j, 0.1);
+}
+
+TEST(JainIndex, ScaleInvariant) {
+  const double a = jain_fairness_index({1.0, 2.0, 3.0});
+  const double b = jain_fairness_index({10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(MinMeanMax, Empty) {
+  MinMeanMax m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.min(), 0.0);
+  EXPECT_EQ(m.max(), 0.0);
+  EXPECT_EQ(m.mean(), 0.0);
+}
+
+TEST(MinMeanMax, TracksAll) {
+  MinMeanMax m;
+  m.add(3.0);
+  m.add(1.0);
+  m.add(2.0);
+  EXPECT_DOUBLE_EQ(m.min(), 1.0);
+  EXPECT_DOUBLE_EQ(m.max(), 3.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 2.0);
+  EXPECT_EQ(m.count(), 3u);
+}
+
+TEST(MinMeanMax, NegativeValues) {
+  MinMeanMax m;
+  m.add(-5.0);
+  m.add(5.0);
+  EXPECT_DOUBLE_EQ(m.min(), -5.0);
+  EXPECT_DOUBLE_EQ(m.max(), 5.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+}
+
+TEST(MinMeanMax, ResetClears) {
+  MinMeanMax m;
+  m.add(1.0);
+  m.reset();
+  EXPECT_TRUE(m.empty());
+}
+
+}  // namespace
+}  // namespace nfv

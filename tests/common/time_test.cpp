@@ -1,0 +1,44 @@
+#include "common/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nfv {
+namespace {
+
+TEST(CpuClock, DefaultIs2Point6GHz) {
+  CpuClock clock;
+  EXPECT_DOUBLE_EQ(clock.hz(), 2.6e9);
+}
+
+TEST(CpuClock, SecondsRoundTrip) {
+  CpuClock clock;
+  EXPECT_EQ(clock.from_seconds(1.0), 2'600'000'000);
+  EXPECT_DOUBLE_EQ(clock.to_seconds(2'600'000'000), 1.0);
+}
+
+TEST(CpuClock, MillisMicrosNanos) {
+  CpuClock clock;
+  EXPECT_EQ(clock.from_millis(1.0), 2'600'000);
+  EXPECT_EQ(clock.from_micros(1.0), 2'600);
+  EXPECT_EQ(clock.from_nanos(1000.0), 2'600);
+  EXPECT_DOUBLE_EQ(clock.to_millis(2'600'000), 1.0);
+  EXPECT_DOUBLE_EQ(clock.to_micros(2'600), 1.0);
+}
+
+TEST(CpuClock, CustomFrequency) {
+  CpuClock clock(1e9);
+  EXPECT_EQ(clock.from_micros(5.0), 5000);
+  EXPECT_DOUBLE_EQ(clock.to_nanos(1), 1.0);
+}
+
+TEST(CpuClock, PaperCostsConvertSanely) {
+  // The paper's 250-cycle NF at 2.6 GHz is ~96 ns per packet, i.e. a
+  // single core caps out around 10.4 Mpps for that NF.
+  CpuClock clock;
+  const double ns = clock.to_nanos(250);
+  EXPECT_NEAR(ns, 96.2, 0.5);
+  EXPECT_NEAR(clock.hz() / 250.0, 10.4e6, 0.1e6);
+}
+
+}  // namespace
+}  // namespace nfv

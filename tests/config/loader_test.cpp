@@ -1,0 +1,148 @@
+#include "config/loader.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nfv::config {
+namespace {
+
+using core::Simulation;
+
+TEST(ConfigLoader, MinimalTopology) {
+  Simulation sim;
+  const auto topo = load_string(R"(
+    # a one-NF deployment
+    core batch
+    nf fwd core=0 cost=120
+    chain c fwd
+    udp c rate=1e5
+  )",
+                                sim);
+  EXPECT_EQ(topo.cores.size(), 1u);
+  EXPECT_EQ(topo.nfs.size(), 1u);
+  EXPECT_EQ(topo.chains.size(), 1u);
+  EXPECT_EQ(topo.flows.size(), 1u);
+  sim.run_for_seconds(0.05);
+  EXPECT_GT(sim.chain_metrics(topo.chains.at("c")).egress_packets, 4000u);
+}
+
+TEST(ConfigLoader, FullFig7Topology) {
+  Simulation sim;
+  const auto topo = load_string(R"(
+    mode nfvnice
+    core batch
+    nf low core=0 cost=120
+    nf med core=0 cost=270
+    nf high core=0 cost=550
+    chain lmh low med high
+    udp lmh rate=6e6 size=64
+  )",
+                                sim);
+  sim.run_for_seconds(0.1);
+  const auto cm = sim.chain_metrics(topo.chains.at("lmh"));
+  EXPECT_GT(cm.egress_packets, 150'000u);     // ~2.7 Mpps under NFVnice
+  EXPECT_GT(cm.entry_throttle_drops, 10'000u);  // backpressure active
+}
+
+TEST(ConfigLoader, ModeDirectiveTogglesFeatures) {
+  Simulation sim;
+  load_string("mode default\n", sim);
+  EXPECT_FALSE(sim.manager().config().enable_cgroups);
+  EXPECT_FALSE(sim.manager().config().enable_backpressure);
+  load_string("mode cgroup\n", sim);
+  EXPECT_TRUE(sim.manager().config().enable_cgroups);
+  EXPECT_FALSE(sim.manager().config().enable_backpressure);
+  load_string("mode backpressure\n", sim);
+  EXPECT_TRUE(sim.manager().config().enable_backpressure);
+  load_string("mode nfvnice\n", sim);
+  EXPECT_TRUE(sim.manager().config().enable_ecn);
+}
+
+TEST(ConfigLoader, RrCoreWithQuantum) {
+  Simulation sim;
+  const auto topo = load_string(R"(
+    core rr 1
+    nf a core=0 cost=100
+    chain c a
+  )",
+                                sim);
+  EXPECT_EQ(topo.cores.size(), 1u);
+}
+
+TEST(ConfigLoader, NfOptionsParsed) {
+  Simulation sim;
+  const auto topo = load_string(R"(
+    core batch
+    nf vip core=0 cost=500 priority=4.0 batch=16
+  )",
+                                sim);
+  EXPECT_DOUBLE_EQ(sim.nf(topo.nfs.at("vip")).priority(), 4.0);
+  EXPECT_EQ(sim.nf(topo.nfs.at("vip")).config().batch_size, 16u);
+}
+
+TEST(ConfigLoader, TcpFlowOptions) {
+  Simulation sim;
+  const auto topo = load_string(R"(
+    core batch
+    nf a core=0 cost=100
+    chain c a
+    tcp c size=1500 rtt_us=500 start=0.01
+  )",
+                                sim);
+  EXPECT_EQ(topo.flows.count("tcp0"), 1u);
+  sim.run_for_seconds(0.05);
+  EXPECT_GT(sim.manager().flow_counters(topo.flows.at("tcp0")).egress_packets,
+            100u);
+}
+
+TEST(ConfigLoader, CommentsAndBlankLinesIgnored) {
+  Simulation sim;
+  EXPECT_NO_THROW(load_string("\n  # just a comment\n\ncore batch # tail\n",
+                              sim));
+}
+
+TEST(ConfigLoader, ErrorsCarryLineNumbers) {
+  Simulation sim;
+  try {
+    load_string("core batch\nbogus directive\n", sim);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+  }
+}
+
+TEST(ConfigLoader, UnknownNfInChainFails) {
+  Simulation sim;
+  EXPECT_THROW(load_string("core batch\nchain c ghost\n", sim), ConfigError);
+}
+
+TEST(ConfigLoader, UnknownCoreFails) {
+  Simulation sim;
+  EXPECT_THROW(load_string("nf a core=9 cost=1\n", sim), ConfigError);
+}
+
+TEST(ConfigLoader, DuplicateNfFails) {
+  Simulation sim;
+  EXPECT_THROW(
+      load_string("core batch\nnf a core=0 cost=1\nnf a core=0 cost=2\n", sim),
+      ConfigError);
+}
+
+TEST(ConfigLoader, BadNumberFails) {
+  Simulation sim;
+  EXPECT_THROW(load_string("core batch\nnf a core=0 cost=abc\n", sim),
+               ConfigError);
+}
+
+TEST(ConfigLoader, MissingCoreOptionFails) {
+  Simulation sim;
+  EXPECT_THROW(load_string("core batch\nnf a cost=100\n", sim), ConfigError);
+}
+
+TEST(ConfigLoader, UnknownFlowChainFails) {
+  Simulation sim;
+  EXPECT_THROW(load_string("udp ghost rate=1\n", sim), ConfigError);
+}
+
+}  // namespace
+}  // namespace nfv::config

@@ -1,0 +1,73 @@
+#include "flow/flow_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nfv::flow {
+namespace {
+
+pktio::FlowKey key(std::uint32_t src_ip, std::uint8_t proto = pktio::kProtoUdp) {
+  return pktio::FlowKey{src_ip, 0x0a800001, 10000, 80, proto};
+}
+
+TEST(FlowTable, InstallAssignsDenseIds) {
+  FlowTable table;
+  EXPECT_EQ(table.install(key(1), 0), 0u);
+  EXPECT_EQ(table.install(key(2), 0), 1u);
+  EXPECT_EQ(table.install(key(3), 1), 2u);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(FlowTable, LookupHit) {
+  FlowTable table;
+  const FlowId id = table.install(key(7), 4);
+  const FlowEntry* entry = table.lookup(key(7));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->flow_id, id);
+  EXPECT_EQ(entry->chain, 4u);
+  EXPECT_EQ(table.hits(), 1u);
+}
+
+TEST(FlowTable, LookupMiss) {
+  FlowTable table;
+  table.install(key(1), 0);
+  EXPECT_EQ(table.lookup(key(2)), nullptr);
+  EXPECT_EQ(table.misses(), 1u);
+}
+
+TEST(FlowTable, ReinstallKeepsIdUpdatesChain) {
+  FlowTable table;
+  const FlowId id = table.install(key(5), 1);
+  EXPECT_EQ(table.install(key(5), 2), id);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.lookup(key(5))->chain, 2u);
+}
+
+TEST(FlowTable, ProtocolDistinguishesFlows) {
+  FlowTable table;
+  const FlowId udp = table.install(key(9, pktio::kProtoUdp), 0);
+  const FlowId tcp = table.install(key(9, pktio::kProtoTcp), 1);
+  EXPECT_NE(udp, tcp);
+  EXPECT_EQ(table.lookup(key(9, pktio::kProtoTcp))->chain, 1u);
+}
+
+TEST(FlowTable, EntryByIdRoundTrip) {
+  FlowTable table;
+  const FlowId id = table.install(key(11), 3);
+  const FlowEntry& entry = table.entry(id);
+  EXPECT_EQ(entry.key, key(11));
+  EXPECT_EQ(entry.chain, 3u);
+}
+
+TEST(FlowTable, ManyFlows) {
+  FlowTable table;
+  for (std::uint32_t i = 0; i < 10000; ++i) table.install(key(i), i % 7);
+  EXPECT_EQ(table.size(), 10000u);
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    const FlowEntry* entry = table.lookup(key(i));
+    ASSERT_NE(entry, nullptr);
+    ASSERT_EQ(entry->chain, i % 7);
+  }
+}
+
+}  // namespace
+}  // namespace nfv::flow

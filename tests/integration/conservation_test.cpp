@@ -1,0 +1,164 @@
+// Packet-conservation invariants: nothing is lost, duplicated, or leaked.
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+
+namespace nfv::core {
+namespace {
+
+struct Accounting {
+  std::uint64_t wire_ingress = 0;
+  std::uint64_t entry_admitted = 0;
+  std::uint64_t entry_drops = 0;
+  std::uint64_t egress = 0;
+  std::uint64_t rx_full_drops = 0;
+  std::uint64_t handler_drops = 0;
+  std::uint64_t in_queues = 0;
+  std::uint64_t pool_in_use = 0;
+};
+
+Accounting account(Simulation& sim, const std::vector<flow::NfId>& nfs,
+                   const std::vector<flow::ChainId>& chains) {
+  Accounting a;
+  a.wire_ingress = sim.manager().wire_ingress();
+  a.pool_in_use = sim.pool().in_use();
+  for (const auto chain : chains) {
+    const auto cm = sim.chain_metrics(chain);
+    a.entry_admitted += cm.entry_admitted;
+    a.entry_drops += cm.entry_throttle_drops;
+    a.egress += cm.egress_packets;
+  }
+  for (const auto nf : nfs) {
+    const auto m = sim.nf_metrics(nf);
+    a.rx_full_drops += m.rx_full_drops;
+    a.in_queues += sim.nf(nf).rx_ring().size() + sim.nf(nf).tx_ring().size();
+    a.handler_drops += sim.nf(nf).counters().handler_drops;
+  }
+  return a;
+}
+
+// All admitted packets are either egressed, dropped at a ring, dropped by a
+// handler, or still sitting in a queue (or held in flight by an NF).
+void expect_conservation(const Accounting& a) {
+  EXPECT_EQ(a.wire_ingress, a.entry_admitted + a.entry_drops);
+  const std::uint64_t accounted =
+      a.egress + a.rx_full_drops + a.handler_drops + a.in_queues;
+  // In-flight packets (one per NF at most) explain any small gap.
+  EXPECT_LE(a.entry_admitted, accounted + 16);
+  EXPECT_GE(a.entry_admitted + 16, accounted);
+}
+
+TEST(Conservation, Underload) {
+  Simulation sim;
+  const auto core_id = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto a = sim.add_nf("a", core_id, nf::CostModel::fixed(100));
+  const auto b = sim.add_nf("b", core_id, nf::CostModel::fixed(200));
+  const auto chain = sim.add_chain("ab", {a, b});
+  sim.add_udp_flow(chain, 1e6);
+  sim.run_for_seconds(0.1);
+  expect_conservation(account(sim, {a, b}, {chain}));
+}
+
+TEST(Conservation, OverloadWithNfvnice) {
+  Simulation sim;
+  const auto core_id = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto a = sim.add_nf("a", core_id, nf::CostModel::fixed(120));
+  const auto b = sim.add_nf("b", core_id, nf::CostModel::fixed(270));
+  const auto c = sim.add_nf("c", core_id, nf::CostModel::fixed(550));
+  const auto chain = sim.add_chain("abc", {a, b, c});
+  sim.add_udp_flow(chain, 10e6);
+  sim.run_for_seconds(0.2);
+  expect_conservation(account(sim, {a, b, c}, {chain}));
+}
+
+TEST(Conservation, OverloadWithoutNfvnice) {
+  PlatformConfig cfg;
+  cfg.set_nfvnice(false);
+  Simulation sim(cfg);
+  const auto core_id = sim.add_core(SchedPolicy::kCfsNormal);
+  const auto a = sim.add_nf("a", core_id, nf::CostModel::fixed(120));
+  const auto b = sim.add_nf("b", core_id, nf::CostModel::fixed(550));
+  const auto chain = sim.add_chain("ab", {a, b});
+  sim.add_udp_flow(chain, 10e6);
+  sim.run_for_seconds(0.2);
+  expect_conservation(account(sim, {a, b}, {chain}));
+}
+
+TEST(Conservation, MultiChainSharedNfs) {
+  Simulation sim;
+  const auto c0 = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto c1 = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto nf1 = sim.add_nf("nf1", c0, nf::CostModel::fixed(270));
+  const auto nf2 = sim.add_nf("nf2", c0, nf::CostModel::fixed(120));
+  const auto nf3 = sim.add_nf("nf3", c1, nf::CostModel::fixed(4500));
+  const auto chain1 = sim.add_chain("c1", {nf1, nf2});
+  const auto chain2 = sim.add_chain("c2", {nf1, nf3});
+  sim.add_udp_flow(chain1, 3e6);
+  sim.add_udp_flow(chain2, 3e6);
+  sim.run_for_seconds(0.2);
+  expect_conservation(account(sim, {nf1, nf2, nf3}, {chain1, chain2}));
+}
+
+TEST(Conservation, DrainToZeroAfterTrafficStops) {
+  Simulation sim;
+  const auto core_id = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto a = sim.add_nf("a", core_id, nf::CostModel::fixed(120));
+  const auto b = sim.add_nf("b", core_id, nf::CostModel::fixed(550));
+  const auto chain = sim.add_chain("ab", {a, b});
+  sim.add_udp_flow(chain, 6e6, {.stop_seconds = 0.1});
+  sim.run_for_seconds(0.3);
+  const auto acc = account(sim, {a, b}, {chain});
+  EXPECT_EQ(acc.in_queues, 0u);
+  EXPECT_EQ(acc.pool_in_use, 0u);
+  EXPECT_EQ(acc.entry_admitted,
+            acc.egress + acc.rx_full_drops + acc.handler_drops);
+}
+
+TEST(Conservation, HandlerDropsAccounted) {
+  Simulation sim;
+  const auto core_id = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto fw = sim.add_nf("firewall", core_id, nf::CostModel::fixed(200));
+  const auto chain = sim.add_chain("fw", {fw});
+  // Firewall drops every third packet.
+  int count = 0;
+  sim.nf(fw).set_handler([&count](pktio::Mbuf&) {
+    return (++count % 3 == 0) ? nf::NfAction::kDrop : nf::NfAction::kForward;
+  });
+  sim.add_udp_flow(chain, 1e6, {.stop_seconds = 0.05});
+  sim.run_for_seconds(0.2);
+  const auto acc = account(sim, {fw}, {chain});
+  EXPECT_GT(acc.handler_drops, 10'000u);
+  EXPECT_EQ(acc.entry_admitted,
+            acc.egress + acc.rx_full_drops + acc.handler_drops);
+  EXPECT_EQ(acc.pool_in_use, 0u);
+}
+
+// Sweep the invariant across schedulers and load levels.
+class ConservationSweep
+    : public ::testing::TestWithParam<std::tuple<SchedPolicy, double, bool>> {};
+
+TEST_P(ConservationSweep, Holds) {
+  const auto [policy, rate, nfvnice] = GetParam();
+  PlatformConfig cfg;
+  cfg.set_nfvnice(nfvnice);
+  Simulation sim(cfg);
+  const auto core_id = sim.add_core(policy, 1.0);
+  const auto a = sim.add_nf("a", core_id, nf::CostModel::fixed(120));
+  const auto b = sim.add_nf("b", core_id, nf::CostModel::fixed(270));
+  const auto c = sim.add_nf("c", core_id, nf::CostModel::fixed(550));
+  const auto chain = sim.add_chain("abc", {a, b, c});
+  sim.add_udp_flow(chain, rate);
+  sim.run_for_seconds(0.1);
+  expect_conservation(account(sim, {a, b, c}, {chain}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConservationSweep,
+    ::testing::Combine(::testing::Values(SchedPolicy::kCfsNormal,
+                                         SchedPolicy::kCfsBatch,
+                                         SchedPolicy::kRoundRobin),
+                       ::testing::Values(1e6, 5e6, 14.88e6),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace nfv::core

@@ -1,0 +1,80 @@
+// NUMA placement effects on chain processing.
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+
+namespace nfv::core {
+namespace {
+
+TEST(Numa, SameSocketPaysNoPenalty) {
+  PlatformConfig cfg;
+  cfg.numa_penalty = 500;
+  Simulation sim(cfg);
+  const auto c0 = sim.add_core(SchedPolicy::kCfsBatch, 100.0, /*numa=*/0);
+  const auto c1 = sim.add_core(SchedPolicy::kCfsBatch, 100.0, /*numa=*/0);
+  const auto a = sim.add_nf("a", c0, nf::CostModel::fixed(200));
+  const auto b = sim.add_nf("b", c1, nf::CostModel::fixed(200));
+  const auto chain = sim.add_chain("ab", {a, b});
+  sim.add_udp_flow(chain, 100'000, {.stop_seconds = 0.05});
+  sim.run_for_seconds(0.1);
+  EXPECT_EQ(sim.nf(a).counters().numa_remote_packets, 0u);
+  EXPECT_EQ(sim.nf(b).counters().numa_remote_packets, 0u);
+  // Runtime is exactly packets * 200 cycles: no hidden penalty.
+  const auto m = sim.nf_metrics(b);
+  EXPECT_EQ(m.runtime, static_cast<Cycles>(m.processed) * 200);
+}
+
+TEST(Numa, CrossSocketHopPaysPerPacket) {
+  PlatformConfig cfg;
+  cfg.numa_penalty = 500;
+  Simulation sim(cfg);
+  const auto c0 = sim.add_core(SchedPolicy::kCfsBatch, 100.0, /*numa=*/0);
+  const auto c1 = sim.add_core(SchedPolicy::kCfsBatch, 100.0, /*numa=*/1);
+  const auto a = sim.add_nf("a", c0, nf::CostModel::fixed(200));
+  const auto b = sim.add_nf("b", c1, nf::CostModel::fixed(200));
+  const auto chain = sim.add_chain("ab", {a, b});
+  sim.add_udp_flow(chain, 100'000, {.stop_seconds = 0.05});
+  sim.run_for_seconds(0.1);
+  // NF a is on the NIC's socket (node 0): local. NF b pays per packet.
+  EXPECT_EQ(sim.nf(a).counters().numa_remote_packets, 0u);
+  const auto m = sim.nf_metrics(b);
+  EXPECT_EQ(sim.nf(b).counters().numa_remote_packets, m.processed);
+  EXPECT_EQ(m.runtime, static_cast<Cycles>(m.processed) * (200 + 500));
+}
+
+TEST(Numa, NicSocketConfigurable) {
+  PlatformConfig cfg;
+  cfg.numa_penalty = 500;
+  cfg.manager.nic_numa_node = 1;
+  Simulation sim(cfg);
+  const auto c0 = sim.add_core(SchedPolicy::kCfsBatch, 100.0, /*numa=*/0);
+  const auto a = sim.add_nf("a", c0, nf::CostModel::fixed(200));
+  const auto chain = sim.add_chain("a", {a});
+  sim.add_udp_flow(chain, 100'000, {.stop_seconds = 0.05});
+  sim.run_for_seconds(0.1);
+  // NIC DMAs into node 1; the NF on node 0 pays for every packet.
+  EXPECT_EQ(sim.nf(a).counters().numa_remote_packets,
+            sim.nf(a).counters().processed);
+}
+
+TEST(Numa, PenaltyReducesBottleneckCapacity) {
+  auto throughput = [](int node_b) {
+    PlatformConfig cfg;
+    cfg.numa_penalty = 400;
+    Simulation sim(cfg);
+    const auto c0 = sim.add_core(SchedPolicy::kCfsBatch, 100.0, 0);
+    const auto c1 = sim.add_core(SchedPolicy::kCfsBatch, 100.0, node_b);
+    const auto a = sim.add_nf("a", c0, nf::CostModel::fixed(100));
+    const auto b = sim.add_nf("b", c1, nf::CostModel::fixed(400));
+    const auto chain = sim.add_chain("ab", {a, b});
+    sim.add_udp_flow(chain, 10e6);
+    sim.run_for_seconds(0.1);
+    return static_cast<double>(sim.chain_metrics(chain).egress_packets) / 0.1;
+  };
+  const double local = throughput(0);   // b capacity 2.6e9/400 = 6.5M
+  const double remote = throughput(1);  // b capacity 2.6e9/800 = 3.25M
+  EXPECT_NEAR(local / remote, 2.0, 0.2);
+}
+
+}  // namespace
+}  // namespace nfv::core

@@ -1,0 +1,130 @@
+// End-to-end behaviour of the Simulation facade.
+#include "core/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nfv::core {
+namespace {
+
+TEST(Simulation, PolicyNames) {
+  EXPECT_STREQ(to_string(SchedPolicy::kCfsNormal), "NORMAL");
+  EXPECT_STREQ(to_string(SchedPolicy::kCfsBatch), "BATCH");
+  EXPECT_STREQ(to_string(SchedPolicy::kRoundRobin), "RR");
+}
+
+TEST(Simulation, TimeAdvances) {
+  Simulation sim;
+  const auto core_id = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto nf = sim.add_nf("nf", core_id, nf::CostModel::fixed(100));
+  sim.add_chain("c", {nf});
+  EXPECT_DOUBLE_EQ(sim.now_seconds(), 0.0);
+  sim.run_for_seconds(0.25);
+  EXPECT_NEAR(sim.now_seconds(), 0.25, 1e-9);
+  sim.run_for_seconds(0.25);
+  EXPECT_NEAR(sim.now_seconds(), 0.5, 1e-9);
+}
+
+TEST(Simulation, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulation sim;
+    const auto core_id = sim.add_core(SchedPolicy::kCfsNormal);
+    const auto a = sim.add_nf("a", core_id, nf::CostModel::fixed(120));
+    const auto b = sim.add_nf("b", core_id, nf::CostModel::fixed(550));
+    const auto chain = sim.add_chain("ab", {a, b});
+    sim.add_udp_flow(chain, 4e6);
+    sim.run_for_seconds(0.05);
+    return sim.chain_metrics(chain).egress_packets;
+  };
+  const auto first = run_once();
+  EXPECT_GT(first, 0u);
+  EXPECT_EQ(run_once(), first);
+  EXPECT_EQ(run_once(), first);
+}
+
+TEST(Simulation, MultiCorePlacement) {
+  Simulation sim;
+  const auto c0 = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto c1 = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto a = sim.add_nf("a", c0, nf::CostModel::fixed(500));
+  const auto b = sim.add_nf("b", c1, nf::CostModel::fixed(500));
+  const auto chain = sim.add_chain("ab", {a, b});
+  sim.add_udp_flow(chain, 3e6);
+  sim.run_for_seconds(0.1);
+  // Each NF has its own core: both can exceed 50% CPU simultaneously.
+  EXPECT_GT(sim.nf_cpu_share(a), 0.5);
+  EXPECT_GT(sim.nf_cpu_share(b), 0.5);
+  EXPECT_EQ(sim.core_count(), 2u);
+}
+
+TEST(Simulation, ThroughputBoundedByBottleneck) {
+  Simulation sim;
+  const auto c0 = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto c1 = sim.add_core(SchedPolicy::kCfsBatch);
+  // 4500-cycle NF on its own core: capacity = 2.6e9/4500 = 0.578 Mpps.
+  const auto a = sim.add_nf("a", c0, nf::CostModel::fixed(550));
+  const auto b = sim.add_nf("b", c1, nf::CostModel::fixed(4500));
+  const auto chain = sim.add_chain("ab", {a, b});
+  sim.add_udp_flow(chain, 6e6);
+  sim.run_for_seconds(0.2);
+  const double mpps = static_cast<double>(
+                          sim.chain_metrics(chain).egress_packets) /
+                      sim.now_seconds() / 1e6;
+  EXPECT_GT(mpps, 0.45);
+  EXPECT_LT(mpps, 0.60);
+}
+
+TEST(Simulation, ReportPrintsAllNfsAndChains) {
+  Simulation sim;
+  const auto core_id = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto a = sim.add_nf("alpha", core_id, nf::CostModel::fixed(100));
+  const auto chain = sim.add_chain("mychain", {a});
+  sim.add_udp_flow(chain, 1e5);
+  sim.run_for_seconds(0.01);
+  std::ostringstream oss;
+  sim.print_report(oss);
+  const std::string report = oss.str();
+  EXPECT_NE(report.find("alpha"), std::string::npos);
+  EXPECT_NE(report.find("mychain"), std::string::npos);
+}
+
+TEST(Simulation, MetricsSnapshotsSubtract) {
+  Simulation sim;
+  const auto core_id = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto nf = sim.add_nf("nf", core_id, nf::CostModel::fixed(100));
+  const auto chain = sim.add_chain("c", {nf});
+  sim.add_udp_flow(chain, 1e5);
+  sim.run_for_seconds(0.05);
+  const auto before = sim.nf_metrics(nf);
+  sim.run_for_seconds(0.05);
+  const auto after = sim.nf_metrics(nf);
+  const auto delta = after - before;
+  EXPECT_GT(delta.processed, 0u);
+  EXPECT_LT(delta.processed, after.processed);
+  EXPECT_NEAR(static_cast<double>(delta.processed), 5000.0, 200.0);
+}
+
+TEST(Simulation, AddFlowAfterStart) {
+  Simulation sim;
+  const auto core_id = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto nf = sim.add_nf("nf", core_id, nf::CostModel::fixed(100));
+  const auto chain = sim.add_chain("c", {nf});
+  sim.run_for_seconds(0.01);
+  const auto flow = sim.add_udp_flow(chain, 1e5);
+  sim.run_for_seconds(0.05);
+  EXPECT_GT(sim.manager().flow_counters(flow).egress_packets, 1000u);
+}
+
+TEST(Simulation, RrQuantumConfigurable) {
+  Simulation sim;
+  const auto fast_rr = sim.add_core(SchedPolicy::kRoundRobin, 1.0);
+  const auto nf = sim.add_nf("nf", fast_rr, nf::CostModel::fixed(100));
+  const auto chain = sim.add_chain("c", {nf});
+  sim.add_udp_flow(chain, 1e5);
+  sim.run_for_seconds(0.02);
+  EXPECT_GT(sim.chain_metrics(chain).egress_packets, 1000u);
+}
+
+}  // namespace
+}  // namespace nfv::core

@@ -1,0 +1,81 @@
+#include "io/block_device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nfv::io {
+namespace {
+
+BlockDevice::Config fast_config() {
+  BlockDevice::Config cfg;
+  cfg.base_latency = 100;
+  cfg.bytes_per_cycle = 1.0;
+  return cfg;
+}
+
+TEST(BlockDevice, CompletionAfterLatencyPlusTransfer) {
+  sim::Engine engine;
+  BlockDevice dev(engine, fast_config());
+  Cycles done_at = -1;
+  dev.submit(50, [&] { done_at = engine.now(); });
+  engine.run();
+  EXPECT_EQ(done_at, 150);  // 100 latency + 50 bytes at 1 B/cycle
+}
+
+TEST(BlockDevice, RequestsServicedSerially) {
+  sim::Engine engine;
+  BlockDevice dev(engine, fast_config());
+  Cycles first = -1, second = -1;
+  dev.submit(100, [&] { first = engine.now(); });
+  dev.submit(100, [&] { second = engine.now(); });
+  engine.run();
+  EXPECT_EQ(first, 200);
+  EXPECT_EQ(second, 400);  // queued behind the first
+}
+
+TEST(BlockDevice, CompletionOrderIsFifo) {
+  sim::Engine engine;
+  BlockDevice dev(engine, fast_config());
+  std::vector<int> order;
+  dev.submit(1000, [&] { order.push_back(1); });
+  dev.submit(1, [&] { order.push_back(2); });  // small but behind
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(BlockDevice, IdleGapResetsQueue) {
+  sim::Engine engine;
+  BlockDevice dev(engine, fast_config());
+  Cycles done = -1;
+  dev.submit(100, [&] {});
+  engine.run();
+  // Device idle since t=200; a request at t=1000 starts immediately.
+  engine.schedule_at(1000, [&] { dev.submit(10, [&] { done = engine.now(); }); });
+  engine.run();
+  EXPECT_EQ(done, 1110);
+}
+
+TEST(BlockDevice, StatsAccumulate) {
+  sim::Engine engine;
+  BlockDevice dev(engine, fast_config());
+  dev.submit(10, [] {});
+  dev.submit(20, [] {});
+  engine.run();
+  EXPECT_EQ(dev.requests(), 2u);
+  EXPECT_EQ(dev.bytes_transferred(), 30u);
+  EXPECT_EQ(dev.busy_cycles(), 100 + 10 + 100 + 20);
+}
+
+TEST(BlockDevice, BandwidthTermScales) {
+  sim::Engine engine;
+  BlockDevice::Config cfg;
+  cfg.base_latency = 0;
+  cfg.bytes_per_cycle = 0.5;
+  BlockDevice dev(engine, cfg);
+  Cycles done = -1;
+  dev.submit(100, [&] { done = engine.now(); });
+  engine.run();
+  EXPECT_EQ(done, 200);  // 100 B at 0.5 B/cycle
+}
+
+}  // namespace
+}  // namespace nfv::io

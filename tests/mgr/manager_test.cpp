@@ -1,0 +1,194 @@
+#include "mgr/manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+
+namespace nfv::mgr {
+namespace {
+
+using core::PlatformConfig;
+using core::SchedPolicy;
+using core::Simulation;
+
+PlatformConfig default_config(bool nfvnice = true) {
+  PlatformConfig cfg;
+  cfg.set_nfvnice(nfvnice);
+  return cfg;
+}
+
+TEST(Manager, UnmatchedTrafficIsDroppedNotCrashed) {
+  Simulation sim(default_config());
+  const auto core_id = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto nf = sim.add_nf("nf", core_id, nf::CostModel::fixed(100));
+  sim.add_chain("c", {nf});
+  sim.run_for_seconds(0.001);  // start the manager
+
+  pktio::Mbuf* pkt = sim.pool().alloc();
+  ASSERT_NE(pkt, nullptr);
+  pktio::FlowKey unknown{99, 99, 9, 9, 17};
+  sim.manager().ingress(pkt, unknown);
+  EXPECT_EQ(sim.pool().in_use(), 0u);  // freed on the miss path
+  EXPECT_EQ(sim.manager().wire_ingress(), 1u);
+}
+
+TEST(Manager, PacketsFlowThroughChainToEgress) {
+  Simulation sim(default_config());
+  const auto core_id = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto a = sim.add_nf("a", core_id, nf::CostModel::fixed(100));
+  const auto b = sim.add_nf("b", core_id, nf::CostModel::fixed(100));
+  const auto chain = sim.add_chain("ab", {a, b});
+  sim.add_udp_flow(chain, /*rate_pps=*/100'000);  // far below capacity
+  sim.run_for_seconds(0.05);
+
+  const auto cm = sim.chain_metrics(chain);
+  EXPECT_GT(cm.egress_packets, 4000u);
+  EXPECT_EQ(cm.entry_throttle_drops, 0u);
+  // Every admitted packet that exits was processed by both NFs.
+  EXPECT_EQ(sim.nf_metrics(a).processed, sim.nf_metrics(a).forwarded);
+  EXPECT_GE(sim.nf_metrics(b).processed, cm.egress_packets);
+}
+
+TEST(Manager, EgressCountsBytes) {
+  Simulation sim(default_config());
+  const auto core_id = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto nf = sim.add_nf("nf", core_id, nf::CostModel::fixed(50));
+  const auto chain = sim.add_chain("c", {nf});
+  core::UdpOptions opts;
+  opts.size_bytes = 128;
+  sim.add_udp_flow(chain, 10'000, opts);
+  sim.run_for_seconds(0.02);
+  const auto cm = sim.chain_metrics(chain);
+  EXPECT_EQ(cm.egress_bytes, cm.egress_packets * 128);
+}
+
+TEST(Manager, RxFullDropsAttributedToUpstream) {
+  // NF "slow" bottlenecks; packets NF "fast" processed die at slow's ring.
+  PlatformConfig cfg = default_config(false);  // no backpressure: force drops
+  Simulation sim(cfg);
+  const auto core_id = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto fast = sim.add_nf("fast", core_id, nf::CostModel::fixed(50));
+  const auto slow = sim.add_nf("slow", core_id, nf::CostModel::fixed(5000));
+  const auto chain = sim.add_chain("fs", {fast, slow});
+  sim.add_udp_flow(chain, 2e6);
+  sim.run_for_seconds(0.1);
+
+  const auto fast_m = sim.nf_metrics(fast);
+  const auto slow_m = sim.nf_metrics(slow);
+  EXPECT_GT(slow_m.rx_full_drops, 0u);
+  EXPECT_EQ(slow_m.rx_full_drops, slow_m.wasted_drops_here);
+  EXPECT_EQ(fast_m.downstream_drops, slow_m.wasted_drops_here);
+}
+
+TEST(Manager, EntryDropsAreNotWastedWork) {
+  Simulation sim(default_config(true));
+  const auto core_id = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto fast = sim.add_nf("fast", core_id, nf::CostModel::fixed(50));
+  const auto slow = sim.add_nf("slow", core_id, nf::CostModel::fixed(5000));
+  const auto chain = sim.add_chain("fs", {fast, slow});
+  sim.add_udp_flow(chain, 2e6);
+  sim.run_for_seconds(0.1);
+
+  const auto cm = sim.chain_metrics(chain);
+  EXPECT_GT(cm.entry_throttle_drops, 0u);  // backpressure shed at entry
+  // First-hop full drops (chain_pos 0) must not count as wasted work.
+  EXPECT_EQ(sim.nf_metrics(fast).wasted_drops_here, 0u);
+}
+
+TEST(Manager, BackpressureDisabledMeansNoEntryDrops) {
+  Simulation sim(default_config(false));
+  const auto core_id = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto fast = sim.add_nf("fast", core_id, nf::CostModel::fixed(50));
+  const auto slow = sim.add_nf("slow", core_id, nf::CostModel::fixed(5000));
+  const auto chain = sim.add_chain("fs", {fast, slow});
+  sim.add_udp_flow(chain, 2e6);
+  sim.run_for_seconds(0.05);
+  EXPECT_EQ(sim.chain_metrics(chain).entry_throttle_drops, 0u);
+}
+
+TEST(Manager, CgroupsUpdateSharesUnderLoad) {
+  Simulation sim(default_config(true));
+  const auto core_id = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto cheap = sim.add_nf("cheap", core_id, nf::CostModel::fixed(100));
+  const auto costly = sim.add_nf("costly", core_id, nf::CostModel::fixed(1000));
+  const auto c1 = sim.add_chain("c1", {cheap});
+  const auto c2 = sim.add_chain("c2", {costly});
+  sim.add_udp_flow(c1, 1e6);
+  sim.add_udp_flow(c2, 1e6);
+  sim.run_for_seconds(0.2);
+
+  EXPECT_GT(sim.manager().cgroups().writes(), 0u);
+  // Equal arrival rates, 10x cost: the costly NF must carry ~10x weight.
+  const double ratio = static_cast<double>(sim.nf(costly).weight()) /
+                       static_cast<double>(sim.nf(cheap).weight());
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 20.0);
+}
+
+TEST(Manager, CgroupsDisabledLeavesWeightsAlone) {
+  Simulation sim(default_config(false));
+  const auto core_id = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto cheap = sim.add_nf("cheap", core_id, nf::CostModel::fixed(100));
+  const auto costly = sim.add_nf("costly", core_id, nf::CostModel::fixed(1000));
+  const auto c1 = sim.add_chain("c1", {cheap});
+  const auto c2 = sim.add_chain("c2", {costly});
+  sim.add_udp_flow(c1, 1e6);
+  sim.add_udp_flow(c2, 1e6);
+  sim.run_for_seconds(0.1);
+  EXPECT_EQ(sim.manager().cgroups().writes(), 0u);
+  EXPECT_EQ(sim.nf(cheap).weight(), sched::kDefaultWeight);
+  EXPECT_EQ(sim.nf(costly).weight(), sched::kDefaultWeight);
+}
+
+TEST(Manager, LoadEstimateReflectsArrivalRateAndCost) {
+  Simulation sim(default_config(true));
+  const auto core_id = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto nf = sim.add_nf("nf", core_id, nf::CostModel::fixed(260));
+  const auto chain = sim.add_chain("c", {nf});
+  sim.add_udp_flow(chain, 1e6);  // 1 Mpps * 260 cycles = 10% of 2.6 GHz
+  sim.run_for_seconds(0.3);
+  EXPECT_NEAR(sim.manager().nf_load(nf), 0.10, 0.03);
+}
+
+TEST(Manager, EcnMarksTcpUnderCongestion) {
+  Simulation sim(default_config(true));
+  const auto core_id = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto a = sim.add_nf("a", core_id, nf::CostModel::fixed(100));
+  const auto slow = sim.add_nf("slow", core_id, nf::CostModel::fixed(3000));
+  const auto chain = sim.add_chain("c", {a, slow});
+  auto [flow_id, tcp] = sim.add_tcp_flow(chain);
+  sim.add_udp_flow(chain, 1.5e6);  // congest the slow NF
+  sim.run_for_seconds(0.3);
+  EXPECT_GT(sim.manager().ecn()->marks(), 0u);
+  EXPECT_GT(sim.manager().flow_counters(flow_id).ecn_marked, 0u);
+  EXPECT_GT(tcp->ecn_backoffs() + tcp->congestion_events(), 0u);
+}
+
+TEST(Manager, WakeupThreadPausesUpstreamOfBottleneck) {
+  Simulation sim(default_config(true));
+  const auto c0 = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto c1 = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto up = sim.add_nf("up", c0, nf::CostModel::fixed(100));
+  const auto down = sim.add_nf("down", c1, nf::CostModel::fixed(8000));
+  const auto chain = sim.add_chain("ud", {up, down});
+  sim.add_udp_flow(chain, 3e6);
+  sim.run_for_seconds(0.05);
+  // The bottleneck NF must never carry the relinquish flag; with its own
+  // dedicated core the upstream NF throttles via entry drops + flag.
+  EXPECT_FALSE(sim.nf(down).yield_flag());
+  EXPECT_GT(sim.chain_metrics(chain).entry_throttle_drops, 0u);
+}
+
+TEST(Manager, MbufPoolNeverLeaksAcrossHeavyOverload) {
+  Simulation sim(default_config(true));
+  const auto core_id = sim.add_core(SchedPolicy::kCfsNormal);
+  const auto a = sim.add_nf("a", core_id, nf::CostModel::fixed(120));
+  const auto b = sim.add_nf("b", core_id, nf::CostModel::fixed(550));
+  const auto chain = sim.add_chain("ab", {a, b});
+  sim.add_udp_flow(chain, 8e6, {.stop_seconds = 0.05});
+  sim.run_for_seconds(0.2);  // drain completely after sources stop
+  EXPECT_EQ(sim.pool().in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace nfv::mgr

@@ -1,0 +1,37 @@
+#include "nfs/bridge.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nfv::nfs {
+namespace {
+
+TEST(Bridge, UnknownDestinationFloods) {
+  Bridge bridge;
+  EXPECT_EQ(bridge.forward(/*src=*/1, /*dst=*/2, /*port=*/0), -1);
+  EXPECT_EQ(bridge.floods(), 1u);
+}
+
+TEST(Bridge, LearnsSourcePort) {
+  Bridge bridge;
+  bridge.forward(1, 99, 3);          // learns 1 -> port 3
+  EXPECT_EQ(bridge.forward(2, 1, 0), 3);
+  EXPECT_EQ(bridge.forwards(), 1u);
+  EXPECT_EQ(bridge.table_size(), 2u);  // learned both 1 and 2
+}
+
+TEST(Bridge, RelearnsWhenHostMoves) {
+  Bridge bridge;
+  bridge.forward(1, 99, 3);
+  bridge.forward(1, 99, 7);  // host 1 moved to port 7
+  EXPECT_EQ(bridge.forward(2, 1, 0), 7);
+}
+
+TEST(Bridge, BidirectionalConversation) {
+  Bridge bridge;
+  EXPECT_EQ(bridge.forward(1, 2, 0), -1);  // flood, learn 1@0
+  EXPECT_EQ(bridge.forward(2, 1, 5), 0);   // reply: knows 1, learns 2@5
+  EXPECT_EQ(bridge.forward(1, 2, 0), 5);   // now both known
+}
+
+}  // namespace
+}  // namespace nfv::nfs

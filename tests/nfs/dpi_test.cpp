@@ -1,0 +1,54 @@
+#include "nfs/dpi.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nfv::nfs {
+namespace {
+
+pktio::Mbuf pkt(std::uint32_t src, std::uint64_t seq) {
+  pktio::Mbuf m;
+  m.key = pktio::FlowKey{src, 2, 3, 4, pktio::kProtoTcp};
+  m.seq = seq;
+  return m;
+}
+
+TEST(Dpi, NoSignaturesNeverAlerts) {
+  Dpi dpi;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(dpi.scan(pkt(1, i)));
+  }
+  EXPECT_EQ(dpi.scanned(), 100u);
+  EXPECT_EQ(dpi.alerts(), 0u);
+}
+
+TEST(Dpi, PlantedSignatureIsDetected) {
+  Dpi dpi;
+  const auto evil = pkt(666, 13);
+  dpi.add_signature("evil", Dpi::payload_digest(evil));
+  EXPECT_FALSE(dpi.scan(pkt(1, 13)));  // different flow, different digest
+  EXPECT_TRUE(dpi.scan(evil));
+  EXPECT_EQ(dpi.alerts(), 1u);
+  EXPECT_EQ(dpi.signatures()[0].hits, 1u);
+}
+
+TEST(Dpi, DigestRepeatsWithContentPattern) {
+  // The synthetic payload pattern repeats every 97 sequence numbers, so a
+  // signature planted at seq=5 also fires at seq=102 of the same flow.
+  Dpi dpi;
+  dpi.add_signature("periodic", Dpi::payload_digest(pkt(7, 5)));
+  EXPECT_TRUE(dpi.scan(pkt(7, 5)));
+  EXPECT_TRUE(dpi.scan(pkt(7, 5 + 97)));
+  EXPECT_FALSE(dpi.scan(pkt(7, 6)));
+}
+
+TEST(Dpi, MultipleSignatures) {
+  Dpi dpi;
+  dpi.add_signature("a", Dpi::payload_digest(pkt(1, 1)));
+  dpi.add_signature("b", Dpi::payload_digest(pkt(2, 2)));
+  EXPECT_TRUE(dpi.scan(pkt(1, 1)));
+  EXPECT_TRUE(dpi.scan(pkt(2, 2)));
+  EXPECT_EQ(dpi.alerts(), 2u);
+}
+
+}  // namespace
+}  // namespace nfv::nfs

@@ -1,0 +1,56 @@
+#include "nfs/load_balancer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nfv::nfs {
+namespace {
+
+pktio::Mbuf pkt(std::uint32_t src, std::uint16_t sport) {
+  pktio::Mbuf m;
+  m.key = pktio::FlowKey{src, 0x0affffff, sport, 443, pktio::kProtoTcp};
+  return m;
+}
+
+TEST(LoadBalancer, FlowHashIsStablePerConnection) {
+  LoadBalancer lb({1, 2, 3}, LoadBalancer::Policy::kFlowHash);
+  auto first = pkt(7, 700);
+  const std::uint32_t backend = lb.steer(first);
+  for (int i = 0; i < 50; ++i) {
+    auto again = pkt(7, 700);
+    EXPECT_EQ(lb.steer(again), backend);
+    EXPECT_EQ(again.key.dst_ip, backend);
+  }
+}
+
+TEST(LoadBalancer, FlowHashSpreadsConnections) {
+  LoadBalancer lb({10, 20, 30, 40}, LoadBalancer::Policy::kFlowHash);
+  for (std::uint16_t p = 0; p < 4000; ++p) {
+    auto m = pkt(p % 97, p);
+    lb.steer(m);
+  }
+  for (const auto& backend : lb.backends()) {
+    // Roughly uniform: each of 4 backends within [15%, 35%] of 4000.
+    EXPECT_GT(backend.packets, 600u);
+    EXPECT_LT(backend.packets, 1400u);
+  }
+}
+
+TEST(LoadBalancer, RoundRobinAlternatesExactly) {
+  LoadBalancer lb({1, 2}, LoadBalancer::Policy::kRoundRobin);
+  auto a = pkt(1, 1), b = pkt(1, 1), c = pkt(1, 1);
+  EXPECT_EQ(lb.steer(a), 1u);
+  EXPECT_EQ(lb.steer(b), 2u);
+  EXPECT_EQ(lb.steer(c), 1u);
+}
+
+TEST(LoadBalancer, SingleBackendGetsEverything) {
+  LoadBalancer lb({42});
+  for (int i = 0; i < 10; ++i) {
+    auto m = pkt(i, i);
+    EXPECT_EQ(lb.steer(m), 42u);
+  }
+  EXPECT_EQ(lb.backends()[0].packets, 10u);
+}
+
+}  // namespace
+}  // namespace nfv::nfs

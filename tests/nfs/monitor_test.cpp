@@ -1,0 +1,50 @@
+#include "nfs/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nfv::nfs {
+namespace {
+
+pktio::Mbuf pkt(std::uint32_t src, std::uint16_t bytes) {
+  pktio::Mbuf m;
+  m.key = pktio::FlowKey{src, 2, 3, 4, pktio::kProtoUdp};
+  m.size_bytes = bytes;
+  return m;
+}
+
+TEST(FlowMonitor, CountsPerFlow) {
+  FlowMonitor mon;
+  for (int i = 0; i < 5; ++i) mon.observe(pkt(1, 100));
+  for (int i = 0; i < 3; ++i) mon.observe(pkt(2, 200));
+  EXPECT_EQ(mon.flow_count(), 2u);
+  EXPECT_EQ(mon.total_packets(), 8u);
+  EXPECT_EQ(mon.stats_for(pkt(1, 0).key).packets, 5u);
+  EXPECT_EQ(mon.stats_for(pkt(1, 0).key).bytes, 500u);
+  EXPECT_EQ(mon.stats_for(pkt(2, 0).key).bytes, 600u);
+}
+
+TEST(FlowMonitor, UnknownFlowIsZero) {
+  FlowMonitor mon;
+  EXPECT_EQ(mon.stats_for(pkt(9, 0).key).packets, 0u);
+}
+
+TEST(FlowMonitor, TopTalkersOrderedByBytes) {
+  FlowMonitor mon;
+  mon.observe(pkt(1, 100));
+  for (int i = 0; i < 10; ++i) mon.observe(pkt(2, 1500));
+  for (int i = 0; i < 5; ++i) mon.observe(pkt(3, 1500));
+  const auto top = mon.top_talkers(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first.src_ip, 2u);
+  EXPECT_EQ(top[1].first.src_ip, 3u);
+}
+
+TEST(FlowMonitor, TopTalkersClampedToFlowCount) {
+  FlowMonitor mon;
+  mon.observe(pkt(1, 100));
+  EXPECT_EQ(mon.top_talkers(10).size(), 1u);
+  EXPECT_TRUE(FlowMonitor().top_talkers(3).empty());
+}
+
+}  // namespace
+}  // namespace nfv::nfs

@@ -1,0 +1,84 @@
+#include "nfs/nat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nfv::nfs {
+namespace {
+
+pktio::Mbuf pkt_from(std::uint32_t src_ip, std::uint16_t src_port) {
+  pktio::Mbuf m;
+  m.key = pktio::FlowKey{src_ip, 0x08080808, src_port, 80, pktio::kProtoTcp};
+  return m;
+}
+
+TEST(Nat, RewritesSourceToPublicIp) {
+  Nat nat;
+  auto pkt = pkt_from(0x0a000001, 1234);
+  nat.translate(pkt);
+  EXPECT_EQ(pkt.key.src_ip, 0xc0a80001);
+  EXPECT_GE(pkt.key.src_port, 20000);
+  EXPECT_EQ(pkt.key.dst_ip, 0x08080808u);  // destination untouched
+}
+
+TEST(Nat, StableBindingPerConnection) {
+  Nat nat;
+  auto first = pkt_from(0x0a000001, 1234);
+  nat.translate(first);
+  const std::uint16_t port = first.key.src_port;
+  for (int i = 0; i < 100; ++i) {
+    auto pkt = pkt_from(0x0a000001, 1234);
+    nat.translate(pkt);
+    EXPECT_EQ(pkt.key.src_port, port);
+  }
+  EXPECT_EQ(nat.allocations(), 1u);
+  EXPECT_EQ(nat.translated(), 101u);
+}
+
+TEST(Nat, DistinctConnectionsGetDistinctPorts) {
+  Nat nat;
+  std::set<std::uint16_t> ports;
+  for (std::uint16_t p = 1; p <= 100; ++p) {
+    auto pkt = pkt_from(0x0a000001, p);
+    nat.translate(pkt);
+    ports.insert(pkt.key.src_port);
+  }
+  EXPECT_EQ(ports.size(), 100u);
+  EXPECT_EQ(nat.active_bindings(), 100u);
+}
+
+TEST(Nat, SameSourcePortDifferentHostsAreDistinct) {
+  Nat nat;
+  auto a = pkt_from(0x0a000001, 5555);
+  auto b = pkt_from(0x0a000002, 5555);
+  nat.translate(a);
+  nat.translate(b);
+  EXPECT_NE(a.key.src_port, b.key.src_port);
+}
+
+TEST(Nat, PortExhaustionEvictsOldest) {
+  Nat::Config cfg;
+  cfg.port_count = 4;
+  Nat nat(cfg);
+  for (std::uint16_t p = 1; p <= 4; ++p) {
+    auto pkt = pkt_from(0x0a000001, p);
+    nat.translate(pkt);
+  }
+  EXPECT_EQ(nat.binding(0x0a000001, 1, pktio::kProtoTcp), 20000);
+  // Fifth connection evicts the first binding and reuses its port.
+  auto fifth = pkt_from(0x0a000001, 5);
+  nat.translate(fifth);
+  EXPECT_EQ(fifth.key.src_port, 20000);
+  EXPECT_EQ(nat.evictions(), 1u);
+  EXPECT_EQ(nat.binding(0x0a000001, 1, pktio::kProtoTcp), 0);
+  EXPECT_EQ(nat.active_bindings(), 4u);
+}
+
+TEST(Nat, LookupMissReturnsZero) {
+  Nat nat;
+  EXPECT_EQ(nat.binding(1, 2, 3), 0);
+}
+
+}  // namespace
+}  // namespace nfv::nfs

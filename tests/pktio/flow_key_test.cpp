@@ -1,0 +1,73 @@
+#include "pktio/flow_key.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace nfv::pktio {
+namespace {
+
+TEST(FlowKey, EqualityIsFieldwise) {
+  FlowKey a{0x0a000001, 0x0a000002, 1234, 80, kProtoTcp};
+  FlowKey b = a;
+  EXPECT_EQ(a, b);
+  b.src_port = 1235;
+  EXPECT_NE(a, b);
+}
+
+TEST(FlowKey, HashEqualForEqualKeys) {
+  FlowKey a{1, 2, 3, 4, 5};
+  FlowKey b{1, 2, 3, 4, 5};
+  EXPECT_EQ(FlowKeyHash{}(a), FlowKeyHash{}(b));
+}
+
+TEST(FlowKey, HashDiffersAcrossFields) {
+  const FlowKey base{10, 20, 30, 40, 6};
+  const auto h0 = FlowKeyHash{}(base);
+  FlowKey k = base;
+  k.src_ip = 11;
+  EXPECT_NE(FlowKeyHash{}(k), h0);
+  k = base;
+  k.dst_ip = 21;
+  EXPECT_NE(FlowKeyHash{}(k), h0);
+  k = base;
+  k.src_port = 31;
+  EXPECT_NE(FlowKeyHash{}(k), h0);
+  k = base;
+  k.dst_port = 41;
+  EXPECT_NE(FlowKeyHash{}(k), h0);
+  k = base;
+  k.proto = 17;
+  EXPECT_NE(FlowKeyHash{}(k), h0);
+}
+
+TEST(FlowKey, LowCollisionRateOnSequentialFlows) {
+  // Generators allocate flows with sequential IPs/ports; the hash must
+  // spread them (FNV-1a does).
+  std::unordered_set<std::size_t> hashes;
+  int n = 0;
+  for (std::uint32_t ip = 0; ip < 100; ++ip) {
+    for (std::uint16_t port = 0; port < 100; ++port) {
+      hashes.insert(FlowKeyHash{}(FlowKey{ip, 0, port, 80, kProtoUdp}));
+      ++n;
+    }
+  }
+  EXPECT_GT(hashes.size(), static_cast<std::size_t>(n * 99) / 100);
+}
+
+TEST(FlowKey, UsableInUnorderedSet) {
+  std::unordered_set<FlowKey, FlowKeyHash> set;
+  set.insert(FlowKey{1, 2, 3, 4, 5});
+  set.insert(FlowKey{1, 2, 3, 4, 5});
+  set.insert(FlowKey{1, 2, 3, 4, 6});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(FlowKey, ProtocolConstants) {
+  EXPECT_EQ(kProtoTcp, 6);
+  EXPECT_EQ(kProtoUdp, 17);
+}
+
+}  // namespace
+}  // namespace nfv::pktio

@@ -1,0 +1,80 @@
+#include "pktio/mempool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace nfv::pktio {
+namespace {
+
+TEST(MbufPool, AllocUntilExhausted) {
+  MbufPool pool(4);
+  std::vector<Mbuf*> bufs;
+  for (int i = 0; i < 4; ++i) {
+    Mbuf* m = pool.alloc();
+    ASSERT_NE(m, nullptr);
+    bufs.push_back(m);
+  }
+  EXPECT_EQ(pool.in_use(), 4u);
+  EXPECT_EQ(pool.alloc(), nullptr);
+  EXPECT_EQ(pool.alloc_failures(), 1u);
+  for (Mbuf* m : bufs) pool.free(m);
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(MbufPool, FreedBuffersAreReusable) {
+  MbufPool pool(1);
+  Mbuf* a = pool.alloc();
+  ASSERT_NE(a, nullptr);
+  pool.free(a);
+  Mbuf* b = pool.alloc();
+  EXPECT_EQ(a, b);
+}
+
+TEST(MbufPool, AllocResetsMetadata) {
+  MbufPool pool(2);
+  Mbuf* a = pool.alloc();
+  a->flow_id = 7;
+  a->chain_pos = 3;
+  a->ecn_marked = true;
+  const auto index = a->pool_index;
+  pool.free(a);
+  Mbuf* b = pool.alloc();
+  while (b->pool_index != index) {  // find the same slot again
+    b = pool.alloc();
+    ASSERT_NE(b, nullptr);
+  }
+  EXPECT_EQ(b->flow_id, 0u);
+  EXPECT_EQ(b->chain_pos, 0u);
+  EXPECT_FALSE(b->ecn_marked);
+  EXPECT_EQ(b->pool_index, index);
+}
+
+TEST(MbufPool, DistinctBuffers) {
+  MbufPool pool(64);
+  std::set<Mbuf*> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(pool.alloc());
+  EXPECT_EQ(seen.size(), 64u);
+  EXPECT_EQ(seen.count(nullptr), 0u);
+}
+
+TEST(MbufPool, CapacityReported) {
+  MbufPool pool(128);
+  EXPECT_EQ(pool.capacity(), 128u);
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(MbufPool, ChurnDoesNotLeak) {
+  MbufPool pool(8);
+  for (int round = 0; round < 1000; ++round) {
+    Mbuf* m = pool.alloc();
+    ASSERT_NE(m, nullptr);
+    pool.free(m);
+  }
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(pool.alloc_failures(), 0u);
+}
+
+}  // namespace
+}  // namespace nfv::pktio

@@ -1,0 +1,247 @@
+#include "sched/cfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/time.hpp"
+#include "test_tasks.hpp"
+
+namespace nfv::sched {
+namespace {
+
+using testing::InertTask;
+
+SchedParams params() { return SchedParams::defaults(CpuClock{}); }
+
+TEST(Cfs, PicksLowestVruntimeFirst) {
+  CfsScheduler cfs(params(), /*batch=*/false);
+  InertTask a("a"), b("b"), c("c");
+  a.set_vruntime(300.0);
+  b.set_vruntime(100.0);
+  c.set_vruntime(200.0);
+  cfs.enqueue(&a, false);
+  cfs.enqueue(&b, false);
+  cfs.enqueue(&c, false);
+  EXPECT_EQ(cfs.pick_next(), &b);
+  EXPECT_EQ(cfs.pick_next(), &c);
+  EXPECT_EQ(cfs.pick_next(), &a);
+  EXPECT_EQ(cfs.pick_next(), nullptr);
+}
+
+TEST(Cfs, EqualVruntimeBreaksTiesById) {
+  CfsScheduler cfs(params(), false);
+  InertTask a("a"), b("b");
+  // ids default to 0 until bound to a core; emulate via a Core-free path:
+  // equal ids would violate the set invariant, so give distinct vruntimes
+  // via insertion order and check stability through pick.
+  a.set_vruntime(100.0);
+  b.set_vruntime(100.0);
+  cfs.enqueue(&a, false);
+  // a and b have identical (vruntime, id=0); the set would collapse them,
+  // so in the real system ids are unique. Here just verify no crash with a
+  // single element and re-enqueue.
+  EXPECT_EQ(cfs.pick_next(), &a);
+  cfs.enqueue(&b, false);
+  EXPECT_EQ(cfs.pick_next(), &b);
+}
+
+TEST(Cfs, RunEndAdvancesVruntimeInverselyToWeight) {
+  CfsScheduler cfs(params(), false);
+  InertTask normal("n", 1024), heavy("h", 2048);
+  cfs.on_run_end(&normal, 1000);
+  cfs.on_run_end(&heavy, 1000);
+  EXPECT_DOUBLE_EQ(normal.vruntime(), 1000.0);
+  EXPECT_DOUBLE_EQ(heavy.vruntime(), 500.0);  // double weight, half vtime
+}
+
+TEST(Cfs, TimesliceSplitsLatencyByWeight) {
+  const auto p = params();
+  CfsScheduler cfs(p, false);
+  InertTask a("a", 1024), b("b", 1024), c("c", 2048);
+  cfs.enqueue(&a, false);
+  cfs.enqueue(&b, false);
+  // c is "running" (not in the queue): slice = period * w_c / (w_a+w_b+w_c).
+  const Cycles slice = cfs.timeslice(&c);
+  const double expected =
+      static_cast<double>(p.sched_latency) * 2048.0 / (1024.0 + 1024.0 + 2048.0);
+  EXPECT_NEAR(static_cast<double>(slice), expected, 1.0);
+}
+
+TEST(Cfs, TimesliceNeverBelowMinGranularity) {
+  const auto p = params();
+  CfsScheduler cfs(p, false);
+  InertTask light("l", 2);  // minimum cgroup shares
+  std::vector<std::unique_ptr<InertTask>> heavies;
+  for (int i = 0; i < 50; ++i) {
+    heavies.push_back(std::make_unique<InertTask>("h", 10240));
+    heavies.back()->set_vruntime(static_cast<double>(i + 1));
+    cfs.enqueue(heavies.back().get(), false);
+  }
+  EXPECT_GE(cfs.timeslice(&light), p.min_granularity);
+}
+
+TEST(Cfs, PeriodStretchesWithManyTasks) {
+  const auto p = params();
+  CfsScheduler cfs(p, false);
+  std::vector<std::unique_ptr<InertTask>> tasks;
+  for (int i = 0; i < 20; ++i) {
+    tasks.push_back(std::make_unique<InertTask>("t", 1024));
+    tasks.back()->set_vruntime(static_cast<double>(i + 1));
+    cfs.enqueue(tasks.back().get(), false);
+  }
+  InertTask running("r", 1024);
+  // 21 tasks at min_granularity each = period 21*0.75ms > latency 6ms;
+  // equal weights => slice = period/21 = min_granularity.
+  EXPECT_EQ(cfs.timeslice(&running), p.min_granularity);
+}
+
+TEST(Cfs, WakeupPlacementGrantsSleeperCredit) {
+  CfsScheduler cfs(params(), false);
+  InertTask runner("r");
+  runner.set_vruntime(1e9);
+  cfs.enqueue(&runner, false);
+  EXPECT_EQ(cfs.pick_next(), &runner);
+
+  InertTask sleeper("s");
+  sleeper.set_vruntime(0.0);  // slept for ages
+  cfs.enqueue(&sleeper, /*is_wakeup=*/true);
+  // place_entity: vruntime is pulled up to min_vruntime - latency/2, so the
+  // sleeper cannot monopolise the CPU.
+  const double floor = 1e9 - static_cast<double>(params().sched_latency) / 2.0;
+  EXPECT_GE(sleeper.vruntime(), floor - 1.0);
+}
+
+TEST(Cfs, WakeupPlacementNeverLowersVruntime) {
+  CfsScheduler cfs(params(), false);
+  InertTask ahead("a");
+  ahead.set_vruntime(5e9);
+  cfs.enqueue(&ahead, /*is_wakeup=*/true);
+  EXPECT_DOUBLE_EQ(ahead.vruntime(), 5e9);  // max() keeps its own value
+}
+
+TEST(Cfs, NormalPreemptsOnWakeWhenDeficitLarge) {
+  const auto p = params();
+  CfsScheduler cfs(p, /*batch=*/false);
+  InertTask current("cur"), woken("wok");
+  current.set_vruntime(static_cast<double>(p.wakeup_granularity) * 3);
+  woken.set_vruntime(0.0);
+  EXPECT_TRUE(cfs.should_preempt_on_wake(&woken, &current, 0));
+}
+
+TEST(Cfs, NormalDoesNotPreemptWithinGranularity) {
+  const auto p = params();
+  CfsScheduler cfs(p, false);
+  InertTask current("cur"), woken("wok");
+  current.set_vruntime(static_cast<double>(p.wakeup_granularity) * 0.5);
+  woken.set_vruntime(0.0);
+  EXPECT_FALSE(cfs.should_preempt_on_wake(&woken, &current, 0));
+}
+
+TEST(Cfs, RanSoFarCountsTowardPreemptionCheck) {
+  const auto p = params();
+  CfsScheduler cfs(p, false);
+  InertTask current("cur"), woken("wok");
+  current.set_vruntime(0.0);
+  woken.set_vruntime(0.0);
+  EXPECT_FALSE(cfs.should_preempt_on_wake(&woken, &current, 0));
+  // After the current task has run 2x the granularity, it can be preempted.
+  EXPECT_TRUE(
+      cfs.should_preempt_on_wake(&woken, &current, p.wakeup_granularity * 2));
+}
+
+TEST(Cfs, BatchNeverPreemptsOnWake) {
+  const auto p = params();
+  CfsScheduler batch(p, /*batch=*/true);
+  InertTask current("cur"), woken("wok");
+  current.set_vruntime(1e12);
+  woken.set_vruntime(0.0);
+  EXPECT_FALSE(batch.should_preempt_on_wake(&woken, &current, 1'000'000));
+  EXPECT_STREQ(batch.name(), "SCHED_BATCH");
+}
+
+TEST(Cfs, NoCurrentMeansNoPreemption) {
+  CfsScheduler cfs(params(), false);
+  InertTask woken("wok");
+  EXPECT_FALSE(cfs.should_preempt_on_wake(&woken, nullptr, 0));
+}
+
+TEST(Cfs, RemoveDropsTask) {
+  CfsScheduler cfs(params(), false);
+  InertTask a("a"), b("b");
+  a.set_vruntime(1.0);
+  b.set_vruntime(2.0);
+  cfs.enqueue(&a, false);
+  cfs.enqueue(&b, false);
+  cfs.remove(&a);
+  EXPECT_EQ(cfs.runnable_count(), 1u);
+  EXPECT_EQ(cfs.pick_next(), &b);
+}
+
+TEST(Cfs, MinVruntimeIsMonotonic) {
+  CfsScheduler cfs(params(), false);
+  InertTask a("a");
+  a.set_vruntime(100.0);
+  cfs.enqueue(&a, false);
+  const double v1 = cfs.min_vruntime();
+  cfs.pick_next();
+  a.set_vruntime(500.0);
+  cfs.enqueue(&a, false);
+  EXPECT_GE(cfs.min_vruntime(), v1);
+}
+
+TEST(Cfs, WeightChangeWhileQueuedKeepsSliceMathConsistent) {
+  // Regression: NFVnice rewrites cgroup weights of tasks that are sitting
+  // on the runqueue. A cached weight sum (enqueue at the old weight,
+  // dequeue at the new) once underflowed and inflated a slice ~30x.
+  const auto p = params();
+  CfsScheduler cfs(p, false);
+  InertTask queued("q", 1024), running("r", 1024);
+  cfs.enqueue(&queued, false);
+  queued.set_weight(7680);  // cgroup write while queued
+  const Cycles slice = cfs.timeslice(&running);
+  // total weight = 7680 + 1024; slice = 6ms * 1024/8704 (>= min_gran).
+  const double expected = static_cast<double>(p.sched_latency) * 1024.0 /
+                          (7680.0 + 1024.0);
+  EXPECT_NEAR(static_cast<double>(slice),
+              std::max(expected, static_cast<double>(p.min_granularity)),
+              1.0);
+  // And the running task's resched check must not see a wrapped total.
+  cfs.on_run_end(&running, p.sched_latency);
+  EXPECT_TRUE(cfs.should_resched_on_tick(&running, p.sched_latency));
+}
+
+// Weighted fairness property: over a long simulated run of repeated
+// pick/run/requeue, CPU time divides in proportion to weights.
+class CfsWeightFairness
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(CfsWeightFairness, RuntimeProportionalToWeight) {
+  const auto [w1, w2] = GetParam();
+  const auto p = params();
+  CfsScheduler cfs(p, false);
+  InertTask a("a", w1), b("b", w2);
+  cfs.enqueue(&a, false);
+  cfs.enqueue(&b, false);
+  Cycles run_a = 0, run_b = 0;
+  for (int i = 0; i < 20000; ++i) {
+    Task* t = cfs.pick_next();
+    ASSERT_NE(t, nullptr);
+    const Cycles slice = cfs.timeslice(t);
+    cfs.on_run_end(t, slice);
+    (t == &a ? run_a : run_b) += slice;
+    cfs.enqueue(t, false);
+  }
+  const double ratio = static_cast<double>(run_a) / static_cast<double>(run_b);
+  const double expected = static_cast<double>(w1) / static_cast<double>(w2);
+  EXPECT_NEAR(ratio / expected, 1.0, 0.05)
+      << "w1=" << w1 << " w2=" << w2 << " ratio=" << ratio;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WeightPairs, CfsWeightFairness,
+    ::testing::Values(std::pair{1024u, 1024u}, std::pair{2048u, 1024u},
+                      std::pair{4096u, 1024u}, std::pair{512u, 2048u},
+                      std::pair{102u, 4700u}));
+
+}  // namespace
+}  // namespace nfv::sched

@@ -1,0 +1,57 @@
+#include "sched/cgroup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_tasks.hpp"
+
+namespace nfv::sched {
+namespace {
+
+using testing::InertTask;
+
+TEST(CGroup, WriteSetsWeight) {
+  CGroupController cg;
+  InertTask t("t", 1024);
+  const Cycles cost = cg.set_shares(t, 2048);
+  EXPECT_EQ(t.weight(), 2048u);
+  EXPECT_EQ(cost, 13000);
+  EXPECT_EQ(cg.writes(), 1u);
+}
+
+TEST(CGroup, UnchangedValueSkipsSysfsWrite) {
+  CGroupController cg;
+  InertTask t("t", 1024);
+  EXPECT_EQ(cg.set_shares(t, 1024), 0);
+  EXPECT_EQ(cg.writes(), 0u);
+  EXPECT_EQ(cg.skipped_writes(), 1u);
+}
+
+TEST(CGroup, ClampsToKernelBounds) {
+  CGroupController cg;
+  InertTask t("t");
+  cg.set_shares(t, 0);
+  EXPECT_EQ(t.weight(), CGroupController::kMinShares);
+  cg.set_shares(t, 1u << 30);
+  EXPECT_EQ(t.weight(), CGroupController::kMaxShares);
+}
+
+TEST(CGroup, CustomWriteCost) {
+  CGroupController cg(999);
+  InertTask t("t", 1);
+  EXPECT_EQ(cg.set_shares(t, 100), 999);
+  EXPECT_EQ(cg.total_write_cost(), 999);
+}
+
+TEST(CGroup, TotalWriteCostAccumulates) {
+  CGroupController cg(10);
+  InertTask t("t", 1);
+  cg.set_shares(t, 100);
+  cg.set_shares(t, 200);
+  cg.set_shares(t, 200);  // skipped
+  EXPECT_EQ(cg.total_write_cost(), 20);
+  EXPECT_EQ(cg.writes(), 2u);
+  EXPECT_EQ(cg.skipped_writes(), 1u);
+}
+
+}  // namespace
+}  // namespace nfv::sched

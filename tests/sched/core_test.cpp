@@ -1,0 +1,267 @@
+#include "sched/core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/time.hpp"
+#include "sched/cfs.hpp"
+#include "sched/rr.hpp"
+#include "sim/engine.hpp"
+#include "test_tasks.hpp"
+
+namespace nfv::sched {
+namespace {
+
+using testing::BurstTask;
+using testing::HogTask;
+
+constexpr Cycles kSwitchCost = 3900;
+
+std::unique_ptr<Core> make_core(sim::Engine& engine, bool batch = true,
+                                Cycles switch_cost = kSwitchCost) {
+  auto params = SchedParams::defaults(CpuClock{});
+  CoreConfig cfg;
+  cfg.context_switch_cost = switch_cost;
+  return std::make_unique<Core>(
+      engine, std::make_unique<CfsScheduler>(params, batch), cfg, "test");
+}
+
+TEST(Core, TasksStartBlocked) {
+  sim::Engine engine;
+  auto core = make_core(engine);
+  BurstTask t(engine, "t", 1000);
+  core->add_task(&t);
+  EXPECT_EQ(t.state(), TaskState::kBlocked);
+  engine.run_until(1'000'000);
+  EXPECT_EQ(t.completions(), 0);  // never woken, never ran
+}
+
+TEST(Core, WakeRunsTaskToCompletion) {
+  sim::Engine engine;
+  auto core = make_core(engine, true, 0);
+  BurstTask t(engine, "t", 1000);
+  core->add_task(&t);
+  core->wake(&t);
+  engine.run_until(10'000);
+  EXPECT_EQ(t.completions(), 1);
+  EXPECT_EQ(t.state(), TaskState::kBlocked);
+  EXPECT_EQ(t.stats().runtime, 1000);
+  EXPECT_EQ(t.stats().voluntary_switches, 1u);
+  EXPECT_EQ(t.stats().involuntary_switches, 0u);
+}
+
+TEST(Core, WakeOnRunningTaskIsNoOp) {
+  sim::Engine engine;
+  auto core = make_core(engine, true, 0);
+  BurstTask t(engine, "t", 100000);
+  core->add_task(&t);
+  core->wake(&t);
+  engine.run_until(10);  // task is now running
+  EXPECT_EQ(t.state(), TaskState::kRunning);
+  core->wake(&t);  // semaphore already up
+  EXPECT_EQ(t.state(), TaskState::kRunning);
+  engine.run_until(200'000);
+  EXPECT_EQ(t.completions(), 1);
+}
+
+TEST(Core, RepeatedWakeCycles) {
+  sim::Engine engine;
+  auto core = make_core(engine, true, 0);
+  BurstTask t(engine, "t", 500);
+  core->add_task(&t);
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(i * 10'000, [&] { core->wake(&t); });
+  }
+  engine.run_until(1'000'000);
+  EXPECT_EQ(t.completions(), 10);
+  EXPECT_EQ(t.stats().runtime, 5000);
+  EXPECT_EQ(t.stats().wakeups, 10u);
+}
+
+TEST(Core, SwitchCostChargedBetweenDifferentTasks) {
+  sim::Engine engine;
+  auto core = make_core(engine, true, kSwitchCost);
+  BurstTask a(engine, "a", 1000), b(engine, "b", 1000);
+  core->add_task(&a);
+  core->add_task(&b);
+  core->wake(&a);
+  core->wake(&b);
+  engine.run_until(1'000'000);
+  EXPECT_EQ(a.completions(), 1);
+  EXPECT_EQ(b.completions(), 1);
+  // a ran first (no prior task: no charge), then a->b switch cost.
+  EXPECT_EQ(core->switch_overhead_cycles(), kSwitchCost);
+}
+
+TEST(Core, NoSwitchCostResumingSameTask) {
+  sim::Engine engine;
+  auto core = make_core(engine, true, kSwitchCost);
+  BurstTask t(engine, "t", 1000);
+  core->add_task(&t);
+  core->wake(&t);
+  engine.run_until(100'000);
+  engine.schedule_at(200'000, [&] { core->wake(&t); });
+  engine.run_until(1'000'000);
+  EXPECT_EQ(t.completions(), 2);
+  EXPECT_EQ(core->switch_overhead_cycles(), 0);
+}
+
+TEST(Core, QuantumExpiryPreemptsHog) {
+  sim::Engine engine;
+  auto core = make_core(engine, true, 0);
+  HogTask hog("hog");
+  BurstTask worker(engine, "w", 1000);
+  core->add_task(&hog);
+  core->add_task(&worker);
+  core->wake(&hog);
+  core->wake(&worker);
+  engine.run_until(CpuClock{}.from_millis(50));
+  // The hog must have been preempted (involuntary) so the worker ran.
+  EXPECT_GE(worker.completions(), 1);
+  EXPECT_GE(hog.stats().involuntary_switches, 1u);
+  EXPECT_EQ(hog.stats().voluntary_switches, 0u);
+}
+
+TEST(Core, HogAloneKeepsRunningWithoutSwitches) {
+  sim::Engine engine;
+  auto core = make_core(engine, true, 0);
+  HogTask hog("hog");
+  core->add_task(&hog);
+  core->wake(&hog);
+  engine.run_until(CpuClock{}.from_millis(100));
+  // Nothing to switch to: quantum renewals must not count as preemptions.
+  EXPECT_EQ(hog.stats().involuntary_switches, 0u);
+  EXPECT_EQ(core->current(), &hog);
+  EXPECT_NEAR(static_cast<double>(core->busy_cycles()),
+              static_cast<double>(CpuClock{}.from_millis(100)),
+              static_cast<double>(CpuClock{}.from_millis(1)));
+}
+
+TEST(Core, HogsShareCpuFairlyUnderCfs) {
+  sim::Engine engine;
+  auto core = make_core(engine, true, 0);
+  HogTask a("a"), b("b");
+  core->add_task(&a);
+  core->add_task(&b);
+  core->wake(&a);
+  core->wake(&b);
+  engine.run_until(CpuClock{}.from_millis(500));
+  const auto ra = static_cast<double>(a.stats().runtime);
+  const auto rb = static_cast<double>(b.stats().runtime);
+  EXPECT_NEAR(ra / rb, 1.0, 0.05);
+}
+
+TEST(Core, WeightedHogsSplitCpuByWeight) {
+  sim::Engine engine;
+  auto core = make_core(engine, true, 0);
+  HogTask a("a", 3072), b("b", 1024);  // 3:1 cgroup shares
+  core->add_task(&a);
+  core->add_task(&b);
+  core->wake(&a);
+  core->wake(&b);
+  engine.run_until(CpuClock{}.from_millis(500));
+  const auto ra = static_cast<double>(a.stats().runtime);
+  const auto rb = static_cast<double>(b.stats().runtime);
+  EXPECT_NEAR(ra / rb, 3.0, 0.25);
+}
+
+TEST(Core, SchedLatencyRecorded) {
+  sim::Engine engine;
+  auto core = make_core(engine, true, 0);
+  HogTask hog("hog");
+  BurstTask worker(engine, "w", 100);
+  core->add_task(&hog);
+  core->add_task(&worker);
+  core->wake(&hog);
+  engine.run_until(1000);
+  core->wake(&worker);  // must wait for the hog's slice under BATCH
+  engine.run_until(CpuClock{}.from_millis(50));
+  ASSERT_GE(worker.stats().sched_latency_samples, 1u);
+  EXPECT_GT(worker.stats().avg_sched_latency_cycles(), 0.0);
+}
+
+TEST(Core, UtilizationMatchesBusyFraction) {
+  sim::Engine engine;
+  auto core = make_core(engine, true, 0);
+  BurstTask t(engine, "t", CpuClock{}.from_millis(10));
+  core->add_task(&t);
+  core->wake(&t);
+  engine.run_until(CpuClock{}.from_millis(100));
+  EXPECT_NEAR(core->utilization(0, 0), 0.10, 0.005);
+}
+
+TEST(Core, NormalWakeupPreemptionBeatsBatch) {
+  // Under SCHED_NORMAL a waking task preempts a long-running hog quickly;
+  // under SCHED_BATCH it waits for the hog's slice. Compare worker
+  // completion times.
+  auto run = [](bool batch) {
+    sim::Engine engine;
+    auto core = make_core(engine, batch, 0);
+    HogTask hog("hog");
+    BurstTask worker(engine, "w", 1000);
+    core->add_task(&hog);
+    core->add_task(&worker);
+    core->wake(&hog);
+    engine.run_until(CpuClock{}.from_millis(3));  // hog builds vruntime
+    core->wake(&worker);
+    Cycles done = -1;
+    while (done < 0 && engine.now() < CpuClock{}.from_millis(100)) {
+      engine.run_until(engine.now() + 1000);
+      if (worker.completions() > 0) done = engine.now();
+    }
+    return done;
+  };
+  const Cycles normal_done = run(false);
+  const Cycles batch_done = run(true);
+  ASSERT_GT(normal_done, 0);
+  ASSERT_GT(batch_done, 0);
+  EXPECT_LT(normal_done, batch_done);
+}
+
+TEST(Core, RrQuantumGovernsRotation) {
+  sim::Engine engine;
+  auto params = SchedParams::defaults(CpuClock{});
+  params.rr_quantum = CpuClock{}.from_millis(1);
+  CoreConfig cfg;
+  cfg.context_switch_cost = 0;
+  Core core(engine, std::make_unique<RrScheduler>(params), cfg, "rr");
+  HogTask a("a"), b("b");
+  core.add_task(&a);
+  core.add_task(&b);
+  core.wake(&a);
+  core.wake(&b);
+  engine.run_until(CpuClock{}.from_millis(100));
+  // ~100 quantum expiries split between the two tasks.
+  const auto switches =
+      a.stats().involuntary_switches + b.stats().involuntary_switches;
+  EXPECT_NEAR(static_cast<double>(switches), 100.0, 5.0);
+  EXPECT_NEAR(static_cast<double>(a.stats().runtime) /
+                  static_cast<double>(b.stats().runtime),
+              1.0, 0.05);
+}
+
+TEST(Core, PreemptionMidWorkResumesCorrectly) {
+  sim::Engine engine;
+  auto params = SchedParams::defaults(CpuClock{});
+  params.rr_quantum = CpuClock{}.from_micros(100);
+  CoreConfig cfg;
+  cfg.context_switch_cost = 0;
+  // Tick faster than the quantum so sub-millisecond slices are enforced.
+  cfg.tick_period = CpuClock{}.from_micros(100);
+  Core core(engine, std::make_unique<RrScheduler>(params), cfg, "rr");
+  // Burst longer than the quantum: must survive several preemptions.
+  BurstTask big(engine, "big", CpuClock{}.from_micros(450));
+  HogTask hog("hog");
+  core.add_task(&big);
+  core.add_task(&hog);
+  core.wake(&big);
+  core.wake(&hog);
+  engine.run_until(CpuClock{}.from_millis(10));
+  EXPECT_EQ(big.completions(), 1);
+  EXPECT_EQ(big.stats().runtime, CpuClock{}.from_micros(450));
+  EXPECT_GE(big.stats().involuntary_switches, 4u);
+}
+
+}  // namespace
+}  // namespace nfv::sched

@@ -1,0 +1,81 @@
+#include "sched/fifo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/time.hpp"
+#include "sched/core.hpp"
+#include "sim/engine.hpp"
+#include "test_tasks.hpp"
+
+namespace nfv::sched {
+namespace {
+
+using testing::BurstTask;
+using testing::HogTask;
+using testing::InertTask;
+
+TEST(Fifo, FifoOrderAndName) {
+  FifoScheduler fifo;
+  InertTask a("a"), b("b");
+  fifo.enqueue(&a, false);
+  fifo.enqueue(&b, false);
+  EXPECT_EQ(fifo.pick_next(), &a);
+  EXPECT_EQ(fifo.pick_next(), &b);
+  EXPECT_EQ(fifo.pick_next(), nullptr);
+  EXPECT_STREQ(fifo.name(), "SCHED_FIFO");
+}
+
+TEST(Fifo, NeverReschedulesOnTick) {
+  FifoScheduler fifo;
+  InertTask current("c"), waiting("w");
+  fifo.enqueue(&waiting, false);
+  EXPECT_FALSE(fifo.should_resched_on_tick(&current, 0));
+  EXPECT_FALSE(
+      fifo.should_resched_on_tick(&current, CpuClock{}.from_seconds(10)));
+}
+
+TEST(Fifo, NeverPreemptsOnWake) {
+  FifoScheduler fifo;
+  InertTask current("c"), woken("w");
+  EXPECT_FALSE(fifo.should_preempt_on_wake(&woken, &current, 0));
+}
+
+TEST(Fifo, HogStarvesEveryoneOnCore) {
+  // The pathology the paper's §2.1 worries about ("malicious NFs that fail
+  // to yield"): under FIFO nothing ever takes the CPU back.
+  sim::Engine engine;
+  CoreConfig cfg;
+  cfg.context_switch_cost = 0;
+  Core core(engine, std::make_unique<FifoScheduler>(), cfg, "fifo");
+  HogTask hog("hog");
+  BurstTask worker(engine, "w", 1000);
+  core.add_task(&hog);
+  core.add_task(&worker);
+  core.wake(&hog);
+  core.wake(&worker);
+  engine.run_until(CpuClock{}.from_millis(100));
+  EXPECT_EQ(worker.completions(), 0);
+  EXPECT_EQ(hog.stats().involuntary_switches, 0u);
+}
+
+TEST(Fifo, CooperativeTasksShareViaBlocking) {
+  // Voluntary yielders interleave fine under FIFO — NFVnice's libnf makes
+  // NFs exactly that cooperative.
+  sim::Engine engine;
+  CoreConfig cfg;
+  cfg.context_switch_cost = 0;
+  Core core(engine, std::make_unique<FifoScheduler>(), cfg, "fifo");
+  BurstTask a(engine, "a", 1000), b(engine, "b", 1000);
+  core.add_task(&a);
+  core.add_task(&b);
+  engine.schedule_periodic(100'000, [&] {
+    core.wake(&a);
+    core.wake(&b);
+  });
+  engine.run_until(CpuClock{}.from_millis(10));
+  EXPECT_GT(a.completions(), 50);
+  EXPECT_GT(b.completions(), 50);
+}
+
+}  // namespace
+}  // namespace nfv::sched

@@ -1,0 +1,91 @@
+#include "sched/rr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/time.hpp"
+#include "test_tasks.hpp"
+
+namespace nfv::sched {
+namespace {
+
+using testing::InertTask;
+
+SchedParams params_with_quantum(double ms) {
+  auto p = SchedParams::defaults(CpuClock{});
+  p.rr_quantum = CpuClock{}.from_millis(ms);
+  return p;
+}
+
+TEST(Rr, FifoOrder) {
+  RrScheduler rr(params_with_quantum(100));
+  InertTask a("a"), b("b"), c("c");
+  rr.enqueue(&a, false);
+  rr.enqueue(&b, false);
+  rr.enqueue(&c, false);
+  EXPECT_EQ(rr.pick_next(), &a);
+  EXPECT_EQ(rr.pick_next(), &b);
+  EXPECT_EQ(rr.pick_next(), &c);
+  EXPECT_EQ(rr.pick_next(), nullptr);
+}
+
+TEST(Rr, RequeueGoesToTail) {
+  RrScheduler rr(params_with_quantum(100));
+  InertTask a("a"), b("b");
+  rr.enqueue(&a, false);
+  rr.enqueue(&b, false);
+  Task* first = rr.pick_next();
+  rr.enqueue(first, false);  // quantum expired: back to the tail
+  EXPECT_EQ(rr.pick_next(), &b);
+  EXPECT_EQ(rr.pick_next(), &a);
+}
+
+TEST(Rr, QuantumIsFixedRegardlessOfContention) {
+  const auto p = params_with_quantum(100);
+  RrScheduler rr(p);
+  InertTask a("a"), b("b", 99999);  // weight is ignored by RR
+  rr.enqueue(&a, false);
+  EXPECT_EQ(rr.timeslice(&a), p.rr_quantum);
+  EXPECT_EQ(rr.timeslice(&b), p.rr_quantum);
+}
+
+TEST(Rr, OneMsAndHundredMsQuanta) {
+  // The paper evaluates both RR(1ms) and RR(100ms).
+  EXPECT_EQ(RrScheduler(params_with_quantum(1)).timeslice(nullptr),
+            CpuClock{}.from_millis(1));
+  EXPECT_EQ(RrScheduler(params_with_quantum(100)).timeslice(nullptr),
+            CpuClock{}.from_millis(100));
+}
+
+TEST(Rr, NeverPreemptsOnWake) {
+  RrScheduler rr(params_with_quantum(1));
+  InertTask current("cur"), woken("wok");
+  EXPECT_FALSE(rr.should_preempt_on_wake(&woken, &current, 0));
+  EXPECT_FALSE(rr.should_preempt_on_wake(&woken, &current, 1'000'000'000));
+}
+
+TEST(Rr, RunEndDoesNotTouchVruntime) {
+  RrScheduler rr(params_with_quantum(1));
+  InertTask a("a");
+  a.set_vruntime(7.0);
+  rr.on_run_end(&a, 123456);
+  EXPECT_DOUBLE_EQ(a.vruntime(), 7.0);
+}
+
+TEST(Rr, RemoveerasesAllOccurrences) {
+  RrScheduler rr(params_with_quantum(1));
+  InertTask a("a"), b("b");
+  rr.enqueue(&a, false);
+  rr.enqueue(&b, false);
+  rr.remove(&a);
+  EXPECT_EQ(rr.runnable_count(), 1u);
+  EXPECT_EQ(rr.pick_next(), &b);
+  EXPECT_EQ(rr.pick_next(), nullptr);
+}
+
+TEST(Rr, Name) {
+  RrScheduler rr(params_with_quantum(1));
+  EXPECT_STREQ(rr.name(), "SCHED_RR");
+}
+
+}  // namespace
+}  // namespace nfv::sched

@@ -1,0 +1,72 @@
+// Shared task doubles for scheduler tests.
+#pragma once
+
+#include "sched/core.hpp"
+#include "sched/task.hpp"
+#include "sim/engine.hpp"
+
+namespace nfv::sched::testing {
+
+/// A task that never actually runs work; for pure policy-level tests.
+class InertTask : public Task {
+ public:
+  using Task::Task;
+  void on_dispatch(Cycles) override {}
+  void on_preempt(Cycles) override {}
+};
+
+/// A task that, each time it is woken, performs `work_per_wake` cycles of
+/// CPU (surviving preemptions) and then blocks. Mimics an NF draining its
+/// queue and sleeping.
+class BurstTask : public Task {
+ public:
+  BurstTask(sim::Engine& engine, std::string name, Cycles work_per_wake,
+            std::uint32_t weight = kDefaultWeight)
+      : Task(std::move(name), weight),
+        engine_(engine),
+        work_per_wake_(work_per_wake) {}
+
+  void on_dispatch(Cycles now) override {
+    if (remaining_ == 0) remaining_ = work_per_wake_;
+    arm(now);
+  }
+
+  void on_preempt(Cycles now) override {
+    engine_.cancel(event_);
+    event_ = sim::kInvalidEventId;
+    remaining_ = done_at_ - now;
+  }
+
+  /// Total bursts completed.
+  [[nodiscard]] int completions() const { return completions_; }
+
+ private:
+  void arm(Cycles now) {
+    done_at_ = now + remaining_;
+    event_ = engine_.schedule_after(remaining_, [this] {
+      event_ = sim::kInvalidEventId;
+      remaining_ = 0;
+      ++completions_;
+      core()->yield_current(this, /*will_block=*/true);
+    });
+  }
+
+  sim::Engine& engine_;
+  Cycles work_per_wake_;
+  Cycles remaining_ = 0;
+  Cycles done_at_ = 0;
+  sim::EventId event_ = sim::kInvalidEventId;
+  int completions_ = 0;
+};
+
+/// A task that never yields: models the paper's "malicious NFs (those that
+/// fail to yield)". It only stops running when preempted.
+class HogTask : public Task {
+ public:
+  HogTask(std::string name, std::uint32_t weight = kDefaultWeight)
+      : Task(std::move(name), weight) {}
+  void on_dispatch(Cycles) override {}
+  void on_preempt(Cycles) override {}
+};
+
+}  // namespace nfv::sched::testing

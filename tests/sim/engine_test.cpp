@@ -1,0 +1,170 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nfv::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0);
+  EXPECT_EQ(e.pending_events(), 0u);
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30);
+}
+
+TEST(Engine, TiesBreakInSchedulingOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(5, [&] { order.push_back(1); });
+  e.schedule_at(5, [&] { order.push_back(2); });
+  e.schedule_at(5, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, ScheduleAfterIsRelative) {
+  Engine e;
+  Cycles fired_at = -1;
+  e.schedule_at(100, [&] {
+    e.schedule_after(50, [&] { fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Engine, NegativeDelayClampsToNow) {
+  Engine e;
+  Cycles fired_at = -1;
+  e.schedule_at(10, [&] {
+    e.schedule_after(-5, [&] { fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(fired_at, 10);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(10, [&] { ++fired; });
+  e.schedule_at(20, [&] { ++fired; });
+  e.schedule_at(21, [&] { ++fired; });
+  const auto n = e.run_until(20);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(e.now(), 20);  // clock advances to the deadline
+  e.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, RunUntilAdvancesClockWhenIdle) {
+  Engine e;
+  e.run_until(1000);
+  EXPECT_EQ(e.now(), 1000);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelIsIdempotent) {
+  Engine e;
+  const EventId id = e.schedule_at(10, [] {});
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(kInvalidEventId));
+  EXPECT_FALSE(e.cancel(999999));  // never issued
+  e.run();
+}
+
+TEST(Engine, CancelFromWithinEarlierEvent) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.schedule_at(20, [&] { fired = true; });
+  e.schedule_at(10, [&] { e.cancel(id); });
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, PeriodicFiresRepeatedly) {
+  Engine e;
+  int count = 0;
+  e.schedule_periodic(10, [&] { ++count; });
+  e.run_until(100);
+  EXPECT_EQ(count, 10);  // t=10,20,...,100
+}
+
+TEST(Engine, PeriodicCancelStops) {
+  Engine e;
+  int count = 0;
+  const EventId id = e.schedule_periodic(10, [&] { ++count; });
+  e.schedule_at(35, [&] { e.cancel(id); });
+  e.run_until(200);
+  EXPECT_EQ(count, 3);  // t=10,20,30
+}
+
+TEST(Engine, PeriodicCanCancelItself) {
+  Engine e;
+  int count = 0;
+  EventId id = kInvalidEventId;
+  id = e.schedule_periodic(10, [&] {
+    if (++count == 5) e.cancel(id);
+  });
+  e.run_until(1000);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Engine, DispatchedEventsCounts) {
+  Engine e;
+  for (int i = 0; i < 5; ++i) e.schedule_at(i, [] {});
+  e.run();
+  EXPECT_EQ(e.dispatched_events(), 5u);
+}
+
+TEST(Engine, EventsScheduledDuringRunAreExecuted) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) e.schedule_after(1, recurse);
+  };
+  e.schedule_at(0, recurse);
+  e.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(e.now(), 99);
+}
+
+TEST(Engine, HeavyLoadOrderingProperty) {
+  // Many events at random times must still execute in nondecreasing order.
+  Engine e;
+  std::vector<Cycles> times;
+  std::uint64_t seed = 12345;
+  for (int i = 0; i < 10000; ++i) {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    const Cycles t = static_cast<Cycles>(seed % 100000);
+    e.schedule_at(t, [&times, &e] { times.push_back(e.now()); });
+  }
+  e.run();
+  ASSERT_EQ(times.size(), 10000u);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    ASSERT_LE(times[i - 1], times[i]);
+  }
+}
+
+}  // namespace
+}  // namespace nfv::sim
