@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_watermarks.dir/ablation_watermarks.cpp.o"
+  "CMakeFiles/ablation_watermarks.dir/ablation_watermarks.cpp.o.d"
+  "ablation_watermarks"
+  "ablation_watermarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_watermarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_chain_single_core.dir/fig07_chain_single_core.cpp.o"
+  "CMakeFiles/fig07_chain_single_core.dir/fig07_chain_single_core.cpp.o.d"
+  "fig07_chain_single_core"
+  "fig07_chain_single_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_chain_single_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

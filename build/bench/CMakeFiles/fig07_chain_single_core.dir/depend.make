@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_chain_single_core.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_variable_cost.cpp" "bench/CMakeFiles/fig10_variable_cost.dir/fig10_variable_cost.cpp.o" "gcc" "bench/CMakeFiles/fig10_variable_cost.dir/fig10_variable_cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nfvnice.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/nfv_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/mgr/CMakeFiles/nfv_mgr.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/nfv_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/nfv_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/nfv_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nfv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bp/CMakeFiles/nfv_bp.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/nfv_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/pktio/CMakeFiles/nfv_pktio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nfv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_chain_heterogeneity.dir/fig11_chain_heterogeneity.cpp.o"
+  "CMakeFiles/fig11_chain_heterogeneity.dir/fig11_chain_heterogeneity.cpp.o.d"
+  "fig11_chain_heterogeneity"
+  "fig11_chain_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_chain_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

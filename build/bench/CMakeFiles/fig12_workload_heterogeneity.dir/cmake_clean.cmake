@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_workload_heterogeneity.dir/fig12_workload_heterogeneity.cpp.o"
+  "CMakeFiles/fig12_workload_heterogeneity.dir/fig12_workload_heterogeneity.cpp.o.d"
+  "fig12_workload_heterogeneity"
+  "fig12_workload_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_workload_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

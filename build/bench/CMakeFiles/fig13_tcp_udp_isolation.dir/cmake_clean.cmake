@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_tcp_udp_isolation.dir/fig13_tcp_udp_isolation.cpp.o"
+  "CMakeFiles/fig13_tcp_udp_isolation.dir/fig13_tcp_udp_isolation.cpp.o.d"
+  "fig13_tcp_udp_isolation"
+  "fig13_tcp_udp_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_tcp_udp_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

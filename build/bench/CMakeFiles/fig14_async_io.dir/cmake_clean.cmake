@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_async_io.dir/fig14_async_io.cpp.o"
+  "CMakeFiles/fig14_async_io.dir/fig14_async_io.cpp.o.d"
+  "fig14_async_io"
+  "fig14_async_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_async_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15a_dynamic_tuning.dir/fig15a_dynamic_tuning.cpp.o"
+  "CMakeFiles/fig15a_dynamic_tuning.dir/fig15a_dynamic_tuning.cpp.o.d"
+  "fig15a_dynamic_tuning"
+  "fig15a_dynamic_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15a_dynamic_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15bc_fairness.dir/fig15bc_fairness.cpp.o"
+  "CMakeFiles/fig15bc_fairness.dir/fig15bc_fairness.cpp.o.d"
+  "fig15bc_fairness"
+  "fig15bc_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15bc_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

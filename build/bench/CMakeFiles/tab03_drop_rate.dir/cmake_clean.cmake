@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_drop_rate.dir/tab03_drop_rate.cpp.o"
+  "CMakeFiles/tab03_drop_rate.dir/tab03_drop_rate.cpp.o.d"
+  "tab03_drop_rate"
+  "tab03_drop_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_drop_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_sched_latency.dir/tab04_sched_latency.cpp.o"
+  "CMakeFiles/tab04_sched_latency.dir/tab04_sched_latency.cpp.o.d"
+  "tab04_sched_latency"
+  "tab04_sched_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_sched_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_multicore_chain.dir/tab05_multicore_chain.cpp.o"
+  "CMakeFiles/tab05_multicore_chain.dir/tab05_multicore_chain.cpp.o.d"
+  "tab05_multicore_chain"
+  "tab05_multicore_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_multicore_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

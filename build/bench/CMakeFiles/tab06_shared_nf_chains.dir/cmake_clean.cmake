@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab06_shared_nf_chains.dir/tab06_shared_nf_chains.cpp.o"
+  "CMakeFiles/tab06_shared_nf_chains.dir/tab06_shared_nf_chains.cpp.o.d"
+  "tab06_shared_nf_chains"
+  "tab06_shared_nf_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_shared_nf_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

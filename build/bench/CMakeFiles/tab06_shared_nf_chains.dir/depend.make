@@ -1,0 +1,2 @@
+# Empty dependencies file for tab06_shared_nf_chains.
+# This may be replaced when dependencies are built.

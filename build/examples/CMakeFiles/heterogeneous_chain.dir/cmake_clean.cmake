@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_chain.dir/heterogeneous_chain.cpp.o"
+  "CMakeFiles/heterogeneous_chain.dir/heterogeneous_chain.cpp.o.d"
+  "heterogeneous_chain"
+  "heterogeneous_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

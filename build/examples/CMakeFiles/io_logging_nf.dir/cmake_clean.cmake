@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_logging_nf.dir/io_logging_nf.cpp.o"
+  "CMakeFiles/io_logging_nf.dir/io_logging_nf.cpp.o.d"
+  "io_logging_nf"
+  "io_logging_nf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_logging_nf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

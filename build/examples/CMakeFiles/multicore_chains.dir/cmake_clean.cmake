@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicore_chains.dir/multicore_chains.cpp.o"
+  "CMakeFiles/multicore_chains.dir/multicore_chains.cpp.o.d"
+  "multicore_chains"
+  "multicore_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nf_zoo.dir/nf_zoo.cpp.o"
+  "CMakeFiles/nf_zoo.dir/nf_zoo.cpp.o.d"
+  "nf_zoo"
+  "nf_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nf_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_udp_isolation.dir/tcp_udp_isolation.cpp.o"
+  "CMakeFiles/tcp_udp_isolation.dir/tcp_udp_isolation.cpp.o.d"
+  "tcp_udp_isolation"
+  "tcp_udp_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_udp_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

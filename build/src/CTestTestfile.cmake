@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("pktio")
+subdirs("sched")
+subdirs("flow")
+subdirs("io")
+subdirs("nf")
+subdirs("bp")
+subdirs("mgr")
+subdirs("traffic")
+subdirs("core")
+subdirs("nfs")
+subdirs("config")

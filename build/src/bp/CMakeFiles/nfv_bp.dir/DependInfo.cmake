@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bp/backpressure.cpp" "src/bp/CMakeFiles/nfv_bp.dir/backpressure.cpp.o" "gcc" "src/bp/CMakeFiles/nfv_bp.dir/backpressure.cpp.o.d"
+  "/root/repo/src/bp/ecn.cpp" "src/bp/CMakeFiles/nfv_bp.dir/ecn.cpp.o" "gcc" "src/bp/CMakeFiles/nfv_bp.dir/ecn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nfv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pktio/CMakeFiles/nfv_pktio.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/nfv_flow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

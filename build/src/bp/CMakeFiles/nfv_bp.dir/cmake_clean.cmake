@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfv_bp.dir/backpressure.cpp.o"
+  "CMakeFiles/nfv_bp.dir/backpressure.cpp.o.d"
+  "CMakeFiles/nfv_bp.dir/ecn.cpp.o"
+  "CMakeFiles/nfv_bp.dir/ecn.cpp.o.d"
+  "libnfv_bp.a"
+  "libnfv_bp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfv_bp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfv_common.dir/histogram.cpp.o"
+  "CMakeFiles/nfv_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/nfv_common.dir/logging.cpp.o"
+  "CMakeFiles/nfv_common.dir/logging.cpp.o.d"
+  "CMakeFiles/nfv_common.dir/rng.cpp.o"
+  "CMakeFiles/nfv_common.dir/rng.cpp.o.d"
+  "CMakeFiles/nfv_common.dir/stats.cpp.o"
+  "CMakeFiles/nfv_common.dir/stats.cpp.o.d"
+  "libnfv_common.a"
+  "libnfv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfv_config.dir/loader.cpp.o"
+  "CMakeFiles/nfv_config.dir/loader.cpp.o.d"
+  "libnfv_config.a"
+  "libnfv_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfv_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

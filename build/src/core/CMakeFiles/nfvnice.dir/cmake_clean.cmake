@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfvnice.dir/simulation.cpp.o"
+  "CMakeFiles/nfvnice.dir/simulation.cpp.o.d"
+  "libnfvnice.a"
+  "libnfvnice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfvnice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

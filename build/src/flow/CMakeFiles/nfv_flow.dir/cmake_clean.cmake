@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfv_flow.dir/flow_table.cpp.o"
+  "CMakeFiles/nfv_flow.dir/flow_table.cpp.o.d"
+  "CMakeFiles/nfv_flow.dir/service_chain.cpp.o"
+  "CMakeFiles/nfv_flow.dir/service_chain.cpp.o.d"
+  "libnfv_flow.a"
+  "libnfv_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfv_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfv_io.dir/async_io.cpp.o"
+  "CMakeFiles/nfv_io.dir/async_io.cpp.o.d"
+  "CMakeFiles/nfv_io.dir/block_device.cpp.o"
+  "CMakeFiles/nfv_io.dir/block_device.cpp.o.d"
+  "libnfv_io.a"
+  "libnfv_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfv_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

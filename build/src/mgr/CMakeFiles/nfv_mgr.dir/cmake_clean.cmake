@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfv_mgr.dir/manager.cpp.o"
+  "CMakeFiles/nfv_mgr.dir/manager.cpp.o.d"
+  "libnfv_mgr.a"
+  "libnfv_mgr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfv_mgr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

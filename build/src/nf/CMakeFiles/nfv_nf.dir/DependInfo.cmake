@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nf/cost_model.cpp" "src/nf/CMakeFiles/nfv_nf.dir/cost_model.cpp.o" "gcc" "src/nf/CMakeFiles/nfv_nf.dir/cost_model.cpp.o.d"
+  "/root/repo/src/nf/nf_task.cpp" "src/nf/CMakeFiles/nfv_nf.dir/nf_task.cpp.o" "gcc" "src/nf/CMakeFiles/nfv_nf.dir/nf_task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nfv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nfv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pktio/CMakeFiles/nfv_pktio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/nfv_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/nfv_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

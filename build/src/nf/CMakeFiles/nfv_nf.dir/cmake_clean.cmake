@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfv_nf.dir/cost_model.cpp.o"
+  "CMakeFiles/nfv_nf.dir/cost_model.cpp.o.d"
+  "CMakeFiles/nfv_nf.dir/nf_task.cpp.o"
+  "CMakeFiles/nfv_nf.dir/nf_task.cpp.o.d"
+  "libnfv_nf.a"
+  "libnfv_nf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfv_nf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfv_pktio.dir/mempool.cpp.o"
+  "CMakeFiles/nfv_pktio.dir/mempool.cpp.o.d"
+  "CMakeFiles/nfv_pktio.dir/ring.cpp.o"
+  "CMakeFiles/nfv_pktio.dir/ring.cpp.o.d"
+  "libnfv_pktio.a"
+  "libnfv_pktio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfv_pktio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

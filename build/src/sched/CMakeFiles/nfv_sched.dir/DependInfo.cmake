@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/cfs.cpp" "src/sched/CMakeFiles/nfv_sched.dir/cfs.cpp.o" "gcc" "src/sched/CMakeFiles/nfv_sched.dir/cfs.cpp.o.d"
+  "/root/repo/src/sched/cgroup.cpp" "src/sched/CMakeFiles/nfv_sched.dir/cgroup.cpp.o" "gcc" "src/sched/CMakeFiles/nfv_sched.dir/cgroup.cpp.o.d"
+  "/root/repo/src/sched/core.cpp" "src/sched/CMakeFiles/nfv_sched.dir/core.cpp.o" "gcc" "src/sched/CMakeFiles/nfv_sched.dir/core.cpp.o.d"
+  "/root/repo/src/sched/fifo.cpp" "src/sched/CMakeFiles/nfv_sched.dir/fifo.cpp.o" "gcc" "src/sched/CMakeFiles/nfv_sched.dir/fifo.cpp.o.d"
+  "/root/repo/src/sched/rr.cpp" "src/sched/CMakeFiles/nfv_sched.dir/rr.cpp.o" "gcc" "src/sched/CMakeFiles/nfv_sched.dir/rr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nfv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nfv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfv_sched.dir/cfs.cpp.o"
+  "CMakeFiles/nfv_sched.dir/cfs.cpp.o.d"
+  "CMakeFiles/nfv_sched.dir/cgroup.cpp.o"
+  "CMakeFiles/nfv_sched.dir/cgroup.cpp.o.d"
+  "CMakeFiles/nfv_sched.dir/core.cpp.o"
+  "CMakeFiles/nfv_sched.dir/core.cpp.o.d"
+  "CMakeFiles/nfv_sched.dir/fifo.cpp.o"
+  "CMakeFiles/nfv_sched.dir/fifo.cpp.o.d"
+  "CMakeFiles/nfv_sched.dir/rr.cpp.o"
+  "CMakeFiles/nfv_sched.dir/rr.cpp.o.d"
+  "libnfv_sched.a"
+  "libnfv_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfv_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnfv_sched.a"
+)

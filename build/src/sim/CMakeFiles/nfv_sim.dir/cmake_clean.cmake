@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfv_sim.dir/engine.cpp.o"
+  "CMakeFiles/nfv_sim.dir/engine.cpp.o.d"
+  "libnfv_sim.a"
+  "libnfv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfv_traffic.dir/tcp_source.cpp.o"
+  "CMakeFiles/nfv_traffic.dir/tcp_source.cpp.o.d"
+  "CMakeFiles/nfv_traffic.dir/trace.cpp.o"
+  "CMakeFiles/nfv_traffic.dir/trace.cpp.o.d"
+  "CMakeFiles/nfv_traffic.dir/udp_source.cpp.o"
+  "CMakeFiles/nfv_traffic.dir/udp_source.cpp.o.d"
+  "libnfv_traffic.a"
+  "libnfv_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfv_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

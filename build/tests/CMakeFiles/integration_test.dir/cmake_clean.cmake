@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration/backpressure_e2e_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/backpressure_e2e_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/conservation_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/conservation_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/fairness_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/fairness_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/numa_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/numa_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/random_topology_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/random_topology_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/simulation_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/simulation_test.cpp.o.d"
+  "integration_test"
+  "integration_test.pdb"
+  "integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgr_test.dir/mgr/latency_test.cpp.o"
+  "CMakeFiles/mgr_test.dir/mgr/latency_test.cpp.o.d"
+  "CMakeFiles/mgr_test.dir/mgr/manager_test.cpp.o"
+  "CMakeFiles/mgr_test.dir/mgr/manager_test.cpp.o.d"
+  "CMakeFiles/mgr_test.dir/mgr/wake_coalescing_test.cpp.o"
+  "CMakeFiles/mgr_test.dir/mgr/wake_coalescing_test.cpp.o.d"
+  "mgr_test"
+  "mgr_test.pdb"
+  "mgr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfs_test.dir/nfs/bridge_test.cpp.o"
+  "CMakeFiles/nfs_test.dir/nfs/bridge_test.cpp.o.d"
+  "CMakeFiles/nfs_test.dir/nfs/dpi_test.cpp.o"
+  "CMakeFiles/nfs_test.dir/nfs/dpi_test.cpp.o.d"
+  "CMakeFiles/nfs_test.dir/nfs/firewall_test.cpp.o"
+  "CMakeFiles/nfs_test.dir/nfs/firewall_test.cpp.o.d"
+  "CMakeFiles/nfs_test.dir/nfs/load_balancer_test.cpp.o"
+  "CMakeFiles/nfs_test.dir/nfs/load_balancer_test.cpp.o.d"
+  "CMakeFiles/nfs_test.dir/nfs/monitor_test.cpp.o"
+  "CMakeFiles/nfs_test.dir/nfs/monitor_test.cpp.o.d"
+  "CMakeFiles/nfs_test.dir/nfs/nat_test.cpp.o"
+  "CMakeFiles/nfs_test.dir/nfs/nat_test.cpp.o.d"
+  "CMakeFiles/nfs_test.dir/nfs/nf_zoo_integration_test.cpp.o"
+  "CMakeFiles/nfs_test.dir/nfs/nf_zoo_integration_test.cpp.o.d"
+  "CMakeFiles/nfs_test.dir/nfs/rate_limiter_test.cpp.o"
+  "CMakeFiles/nfs_test.dir/nfs/rate_limiter_test.cpp.o.d"
+  "nfs_test"
+  "nfs_test.pdb"
+  "nfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

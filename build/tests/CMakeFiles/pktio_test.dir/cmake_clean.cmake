@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pktio_test.dir/pktio/flow_key_test.cpp.o"
+  "CMakeFiles/pktio_test.dir/pktio/flow_key_test.cpp.o.d"
+  "CMakeFiles/pktio_test.dir/pktio/mempool_test.cpp.o"
+  "CMakeFiles/pktio_test.dir/pktio/mempool_test.cpp.o.d"
+  "CMakeFiles/pktio_test.dir/pktio/ring_test.cpp.o"
+  "CMakeFiles/pktio_test.dir/pktio/ring_test.cpp.o.d"
+  "pktio_test"
+  "pktio_test.pdb"
+  "pktio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pktio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

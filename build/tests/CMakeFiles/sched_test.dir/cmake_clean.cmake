@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_test.dir/sched/cfs_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/cfs_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/cgroup_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/cgroup_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/core_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/core_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/fifo_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/fifo_test.cpp.o.d"
+  "CMakeFiles/sched_test.dir/sched/rr_test.cpp.o"
+  "CMakeFiles/sched_test.dir/sched/rr_test.cpp.o.d"
+  "sched_test"
+  "sched_test.pdb"
+  "sched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
