@@ -9,16 +9,29 @@
 
 using namespace bench;
 
-int main() {
-  std::printf("Figure 7: 3-NF chain (120/270/550 cycles) on one core, "
-              "6 Mpps offered\n");
-  print_title("Chain throughput (Mpps)");
-  print_row({"Scheduler", "Default", "CGroup", "OnlyBKPR", "NFVnice"});
-
+int main(int argc, char** argv) {
   ChainSpec spec;
   spec.costs = {120, 270, 550};
   spec.rate_pps = 6e6;
   spec.secs = seconds(0.25);
+
+  if (json_mode(argc, argv)) {
+    JsonReport report("fig07_chain_single_core");
+    for (const Sched& sched : kAllScheds) {
+      for (const Mode& mode : kAllModes) {
+        std::string sim_report;
+        const auto result = run_chain(mode, sched, spec, &sim_report);
+        report.add_row(mode, sched, result, sim_report);
+      }
+    }
+    report.finish();
+    return 0;
+  }
+
+  std::printf("Figure 7: 3-NF chain (120/270/550 cycles) on one core, "
+              "6 Mpps offered\n");
+  print_title("Chain throughput (Mpps)");
+  print_row({"Scheduler", "Default", "CGroup", "OnlyBKPR", "NFVnice"});
 
   for (const Sched& sched : kAllScheds) {
     std::vector<std::string> cells{sched.name};

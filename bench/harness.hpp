@@ -9,10 +9,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/simulation.hpp"
+#include "obs/json.hpp"
 
 namespace bench {
 
@@ -102,8 +104,12 @@ struct ChainSpec {
   std::vector<Cycles> variable_choices;
 };
 
+/// `report_json` (optional): receives the full Simulation::report_json()
+/// document for this run — the machine-readable path benches expose
+/// behind --json.
 inline ChainResult run_chain(const Mode& mode, const Sched& sched,
-                             const ChainSpec& spec) {
+                             const ChainSpec& spec,
+                             std::string* report_json = nullptr) {
   Simulation sim(make_config(mode));
   std::vector<nfv::flow::NfId> nfs;
   std::size_t core_id = sim.add_core(sched.policy, sched.rr_quantum_ms);
@@ -140,8 +146,67 @@ inline ChainResult run_chain(const Mode& mode, const Sched& sched,
     out.cswch.push_back(m.voluntary_switches);
     out.nvcswch.push_back(m.involuntary_switches);
   }
+  if (report_json != nullptr) *report_json = sim.report_json();
   return out;
 }
+
+/// True when the bench binary was invoked with --json: emit one
+/// machine-readable JSON document on stdout instead of the human tables.
+inline bool json_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return true;
+  }
+  return false;
+}
+
+/// Builds the --json document: {"bench":...,"rows":[{...},...]}. Each row
+/// is one (mode, scheduler) configuration's ChainResult, optionally with
+/// the run's full Simulation report spliced under "report".
+class JsonReport {
+ public:
+  explicit JsonReport(const std::string& bench_name) : writer_(out_) {
+    writer_.begin_object();
+    writer_.field("bench", std::string_view(bench_name));
+    writer_.key("rows");
+    writer_.begin_array();
+  }
+
+  void add_row(const Mode& mode, const Sched& sched, const ChainResult& r,
+               const std::string& report_json = {}) {
+    writer_.begin_object();
+    writer_.field("mode", mode.name);
+    writer_.field("scheduler", sched.name);
+    writer_.field("egress_mpps", r.egress_mpps);
+    writer_.field("entry_drops", r.entry_drops);
+    write_array("svc_rate_mpps", r.svc_rate_mpps);
+    write_array("drop_rate_pps", r.drop_rate_pps);
+    write_array("wasted_by_pps", r.wasted_by_pps);
+    write_array("cpu_share", r.cpu_share);
+    if (!report_json.empty()) {
+      writer_.key("report");
+      writer_.raw(report_json);
+    }
+    writer_.end_object();
+  }
+
+  /// Close the document and print it to stdout. Call exactly once.
+  void finish() {
+    writer_.end_array();
+    writer_.end_object();
+    std::printf("%s\n", out_.str().c_str());
+  }
+
+ private:
+  void write_array(std::string_view key, const std::vector<double>& values) {
+    writer_.key(key);
+    writer_.begin_array();
+    for (const double v : values) writer_.value(v);
+    writer_.end_array();
+  }
+
+  std::ostringstream out_;
+  nfv::obs::JsonWriter writer_;
+};
 
 inline void print_title(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());

@@ -10,7 +10,25 @@
 
 using namespace bench;
 
-int main() {
+int main(int argc, char** argv) {
+  ChainSpec spec;
+  spec.costs = {120, 270, 550};
+  spec.rate_pps = 6e6;
+  spec.secs = seconds(0.25);
+
+  if (json_mode(argc, argv)) {
+    JsonReport report("tab03_drop_rate");
+    for (const Sched& sched : kAllScheds) {
+      for (const Mode* mode : {&kModeDefault, &kModeNfvnice}) {
+        std::string sim_report;
+        const auto result = run_chain(*mode, sched, spec, &sim_report);
+        report.add_row(*mode, sched, result, sim_report);
+      }
+    }
+    report.finish();
+    return 0;
+  }
+
   std::printf("Table 3: wasted-work drop rate per second (3-NF chain, one "
               "core, 6 Mpps)\n");
   std::printf("Rows: packets processed by NFi that were dropped at its "
@@ -18,11 +36,6 @@ int main() {
   print_title("Drops/s (Default vs NFVnice)");
   print_row({"Scheduler", "NF1 dflt", "NF1 nfvnice", "NF2 dflt",
              "NF2 nfvnice", "entry drops"});
-
-  ChainSpec spec;
-  spec.costs = {120, 270, 550};
-  spec.rate_pps = 6e6;
-  spec.secs = seconds(0.25);
 
   for (const Sched& sched : kAllScheds) {
     const auto dflt = run_chain(kModeDefault, sched, spec);

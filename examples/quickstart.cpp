@@ -7,7 +7,13 @@
 // throughput and wasted work.
 //
 // Build & run:  ./build/examples/quickstart
+//
+// The NFVnice run also demonstrates the observability layer: it attaches a
+// TraceRecorder before the run and writes trace.json (load it into
+// chrome://tracing or https://ui.perfetto.dev) plus report.json (the
+// machine-readable counterpart of the printed report).
 
+#include <fstream>
 #include <iostream>
 
 #include "core/simulation.hpp"
@@ -19,7 +25,7 @@ struct Result {
   std::uint64_t wasted_drops;
 };
 
-Result run(bool nfvnice_on) {
+Result run(bool nfvnice_on, nfv::obs::TraceRecorder* trace) {
   nfvnice::PlatformConfig cfg;
   cfg.set_nfvnice(nfvnice_on);
 
@@ -31,9 +37,17 @@ Result run(bool nfvnice_on) {
   const auto chain = sim.add_chain("low-med-high", {low, med, high});
 
   sim.add_udp_flow(chain, /*rate_pps=*/6e6);
+  if (trace != nullptr) sim.attach_trace(*trace);
   sim.run_for_seconds(0.5);
 
   sim.print_report(std::cout);
+
+  if (trace != nullptr) {
+    std::ofstream trace_out("trace.json");
+    trace->write_chrome_json(trace_out);
+    std::ofstream report_out("report.json");
+    sim.report_json(report_out);
+  }
 
   const auto cm = sim.chain_metrics(chain);
   std::uint64_t wasted = 0;
@@ -48,13 +62,16 @@ Result run(bool nfvnice_on) {
 
 int main() {
   std::cout << "--- Default (stock SCHED_BATCH, no NFVnice) ---\n";
-  const Result base = run(false);
+  const Result base = run(false, nullptr);
   std::cout << "\n--- NFVnice (cgroups + backpressure + ECN) ---\n";
-  const Result nice = run(true);
+  nfv::obs::TraceRecorder trace;
+  const Result nice = run(true, &trace);
 
   std::cout << "\nThroughput: default " << base.egress_mpps << " Mpps vs NFVnice "
             << nice.egress_mpps << " Mpps\n";
   std::cout << "Wasted-work drops: default " << base.wasted_drops
             << " vs NFVnice " << nice.wasted_drops << "\n";
+  std::cout << "Wrote trace.json (" << trace.events().size()
+            << " events; open in chrome://tracing) and report.json\n";
   return 0;
 }

@@ -2,19 +2,68 @@
 
 namespace nfv::bp {
 
+const char* to_string(ThrottleState state) {
+  switch (state) {
+    case ThrottleState::kClear:
+      return "CLEAR";
+    case ThrottleState::kWatch:
+      return "WATCH";
+    case ThrottleState::kThrottle:
+      return "THROTTLE";
+  }
+  return "?";
+}
+
 BackpressureManager::BackpressureManager(const flow::ChainRegistry& chains,
                                          std::size_t nf_count, BpConfig config)
     : chains_(chains), config_(config), states_(nf_count) {
   chain_throttles_.assign(chains.size(), 0);
 }
 
+void BackpressureManager::set_observability(obs::Observability* obs,
+                                            std::vector<std::string> nf_names) {
+  obs_ = obs;
+  nf_names_ = std::move(nf_names);
+  if (obs == nullptr) return;
+  for (flow::NfId nf = 0; nf < states_.size(); ++nf) {
+    const std::string& name =
+        nf < nf_names_.size() ? nf_names_[nf] : std::to_string(nf);
+    obs::Scope scope = obs->nf_scope(name);
+    states_[nf].watch_entries = scope.counter("bp.watch_entries");
+    states_[nf].throttle_entries = scope.counter("bp.throttle_entries");
+    states_[nf].throttle_clears = scope.counter("bp.throttle_clears");
+  }
+}
+
+void BackpressureManager::note_transition(flow::NfId nf, ThrottleState from,
+                                          ThrottleState to,
+                                          std::size_t queue_len, Cycles now) {
+  NfState& st = states_[nf];
+  if (to == ThrottleState::kWatch) obs::inc(st.watch_entries);
+  if (to == ThrottleState::kThrottle) obs::inc(st.throttle_entries);
+  if (from == ThrottleState::kThrottle && to == ThrottleState::kClear) {
+    obs::inc(st.throttle_clears);
+  }
+  if (auto* trace = obs::trace_of(obs_)) {
+    trace->instant(now, obs::kBackpressureLane, "bp", "bp_transition",
+                   {{"nf", nf < nf_names_.size() ? nf_names_[nf]
+                                                 : std::to_string(nf)},
+                    {"from", to_string(from)},
+                    {"to", to_string(to)}},
+                   {{"qlen", static_cast<std::int64_t>(queue_len)}});
+  }
+}
+
 void BackpressureManager::on_enqueue_feedback(flow::NfId nf,
-                                              pktio::EnqueueResult result) {
+                                              pktio::EnqueueResult result,
+                                              Cycles now) {
   if (nf >= states_.size()) return;
   if (result != pktio::EnqueueResult::kOk &&
       states_[nf].state == ThrottleState::kClear) {
     states_[nf].state = ThrottleState::kWatch;
     ++stats_.watch_entries;
+    note_transition(nf, ThrottleState::kClear, ThrottleState::kWatch,
+                    /*queue_len=*/0, now);
   }
 }
 
@@ -27,17 +76,23 @@ ThrottleState BackpressureManager::evaluate(flow::NfId nf,
       if (rx_ring.above_high_watermark()) {
         st.state = ThrottleState::kWatch;
         ++stats_.watch_entries;
+        note_transition(nf, ThrottleState::kClear, ThrottleState::kWatch,
+                        rx_ring.size(), now);
       }
       break;
     case ThrottleState::kWatch:
       if (rx_ring.below_low_watermark()) {
         st.state = ThrottleState::kClear;
+        note_transition(nf, ThrottleState::kWatch, ThrottleState::kClear,
+                        rx_ring.size(), now);
       } else if (rx_ring.above_high_watermark() &&
                  now - rx_ring.head_enqueue_time() >
                      config_.queuing_time_threshold) {
         st.state = ThrottleState::kThrottle;
         ++stats_.throttle_entries;
         enter_throttle(nf);
+        note_transition(nf, ThrottleState::kWatch, ThrottleState::kThrottle,
+                        rx_ring.size(), now);
       }
       break;
     case ThrottleState::kThrottle:
@@ -45,6 +100,8 @@ ThrottleState BackpressureManager::evaluate(flow::NfId nf,
         st.state = ThrottleState::kClear;
         ++stats_.throttle_clears;
         leave_throttle(nf);
+        note_transition(nf, ThrottleState::kThrottle, ThrottleState::kClear,
+                        rx_ring.size(), now);
       }
       break;
   }

@@ -20,15 +20,19 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/time.hpp"
 #include "flow/service_chain.hpp"
+#include "obs/observability.hpp"
 #include "pktio/ring.hpp"
 
 namespace nfv::bp {
 
 enum class ThrottleState { kClear, kWatch, kThrottle };
+
+const char* to_string(ThrottleState state);
 
 struct BpConfig {
   /// Minimum time the head packet must have been queued before Watch
@@ -48,9 +52,16 @@ class BackpressureManager {
   BackpressureManager(const flow::ChainRegistry& chains, std::size_t nf_count,
                       BpConfig config = {});
 
+  /// Attach observability: per-NF transition counters (scoped by the names
+  /// in `nf_names`, indexed by NfId) and bp_transition trace events.
+  void set_observability(obs::Observability* obs,
+                         std::vector<std::string> nf_names);
+
   /// Tx-thread detection hook: called with the enqueue feedback for `nf`'s
   /// RX ring. Only flips Clear -> Watch (the cheap part on the data path).
-  void on_enqueue_feedback(flow::NfId nf, pktio::EnqueueResult result);
+  /// `now` stamps the transition's trace event when a recorder is attached.
+  void on_enqueue_feedback(flow::NfId nf, pktio::EnqueueResult result,
+                           Cycles now = 0);
 
   /// Wakeup-thread control hook: advance `nf`'s state machine against its
   /// current RX ring occupancy. Returns the (possibly new) state.
@@ -74,10 +85,16 @@ class BackpressureManager {
  private:
   struct NfState {
     ThrottleState state = ThrottleState::kClear;
+    // Per-NF transition counters (null until observability is attached).
+    obs::Counter* watch_entries = nullptr;
+    obs::Counter* throttle_entries = nullptr;
+    obs::Counter* throttle_clears = nullptr;
   };
 
   void enter_throttle(flow::NfId nf);
   void leave_throttle(flow::NfId nf);
+  void note_transition(flow::NfId nf, ThrottleState from, ThrottleState to,
+                       std::size_t queue_len, Cycles now);
 
   const flow::ChainRegistry& chains_;
   BpConfig config_;
@@ -85,6 +102,8 @@ class BackpressureManager {
   /// Number of throttling NFs each chain currently passes through.
   std::vector<std::uint32_t> chain_throttles_;
   BpStats stats_;
+  obs::Observability* obs_ = nullptr;
+  std::vector<std::string> nf_names_;
 };
 
 }  // namespace nfv::bp

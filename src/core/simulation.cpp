@@ -3,7 +3,9 @@
 #include <cassert>
 #include <iomanip>
 #include <ostream>
+#include <sstream>
 
+#include "obs/json.hpp"
 #include "sched/cfs.hpp"
 #include "sched/fifo.hpp"
 #include "sched/rr.hpp"
@@ -51,7 +53,12 @@ Simulation::Simulation(PlatformConfig config)
     : config_(config), clock_(config.cpu_hz) {
   pool_ = std::make_unique<pktio::MbufPool>(config_.mempool_capacity);
   manager_ = std::make_unique<mgr::Manager>(engine_, *pool_, flows_, chains_,
-                                            config_.manager);
+                                            config_.manager, &obs_);
+  obs_.metrics().counter_fn("sim.dispatched_events", {},
+                            [this] { return engine_.dispatched_events(); });
+  obs_.metrics().gauge_fn("sim.mbufs_in_use", {}, [this] {
+    return static_cast<double>(pool_->in_use());
+  });
 }
 
 Simulation::~Simulation() = default;
@@ -82,6 +89,7 @@ std::size_t Simulation::add_core(SchedPolicy policy, double rr_quantum_ms,
   cores_.push_back(std::make_unique<sched::Core>(
       engine_, std::move(scheduler), core_cfg,
       "core" + std::to_string(index)));
+  cores_.back()->set_observability(&obs_, static_cast<std::uint32_t>(index));
   return index;
 }
 
@@ -119,6 +127,7 @@ io::AsyncIoEngine& Simulation::attach_io(flow::NfId nf_id,
   io_engines_.push_back(
       std::make_unique<io::AsyncIoEngine>(engine_, disk(), io_config));
   nfs_[nf_id]->attach_io(io_engines_.back().get());
+  io_engines_.back()->set_observability(&obs_, nfs_[nf_id]->config().name);
   return *io_engines_.back();
 }
 
@@ -151,6 +160,9 @@ flow::FlowId Simulation::add_udp_flow(flow::ChainId chain, double rate_pps,
                       ? Cycles{-1}
                       : clock_.from_seconds(options.stop_seconds);
   cfg.cost_classes = options.cost_classes;
+  cfg.jitter_fraction = options.jitter_fraction;
+  cfg.poisson = options.poisson;
+  cfg.seed = options.seed;
 
   udp_sources_.push_back(std::make_unique<traffic::UdpSource>(
       engine_, *manager_, *pool_, clock_, cfg));
@@ -230,6 +242,114 @@ double Simulation::nf_cpu_share(flow::NfId id) const {
   if (now == 0) return 0.0;
   return static_cast<double>(nfs_[id]->stats().runtime) /
          static_cast<double>(now);
+}
+
+void Simulation::attach_trace(obs::TraceRecorder& recorder) {
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    recorder.set_lane_name(static_cast<std::uint32_t>(i), cores_[i]->name());
+  }
+  recorder.set_lane_name(obs::kManagerLane, "nf-manager");
+  recorder.set_lane_name(obs::kBackpressureLane, "backpressure");
+  obs_.attach_trace(&recorder);
+}
+
+void Simulation::report_json(std::ostream& out) const {
+  const double elapsed = now_seconds();
+  obs::JsonWriter w(out);
+  w.begin_object();
+
+  w.key("meta");
+  w.begin_object();
+  w.field("elapsed_seconds", elapsed);
+  w.field("cpu_hz", config_.cpu_hz);
+  w.field("now_cycles", static_cast<std::int64_t>(engine_.now()));
+  w.field("dispatched_events", engine_.dispatched_events());
+  w.field("wire_ingress", manager_->wire_ingress());
+  w.end_object();
+
+  w.key("nfs");
+  w.begin_array();
+  for (flow::NfId id = 0; id < nfs_.size(); ++id) {
+    const NfMetrics m = nf_metrics(id);
+    const auto& mc = manager_->nf_counters(id);
+    w.begin_object();
+    w.field("name", std::string_view(m.name));
+    w.field("core", std::string_view(manager_->core_of(id)->name()));
+    w.field("offered", mc.offered);
+    w.field("arrivals", m.arrivals);
+    w.field("processed", m.processed);
+    w.field("forwarded", m.forwarded);
+    w.field("rx_full_drops", m.rx_full_drops);
+    w.field("wasted_drops_here", m.wasted_drops_here);
+    w.field("downstream_drops", m.downstream_drops);
+    w.field("voluntary_switches", m.voluntary_switches);
+    w.field("involuntary_switches", m.involuntary_switches);
+    w.field("runtime_cycles", static_cast<std::int64_t>(m.runtime));
+    w.field("cpu_share", nf_cpu_share(id));
+    w.field("avg_sched_latency_ms", m.avg_sched_latency_ms);
+    w.field("rx_queue_len", m.rx_queue_len);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("chains");
+  w.begin_array();
+  for (flow::ChainId id = 0; id < chains_.size(); ++id) {
+    const ChainMetrics m = chain_metrics(id);
+    const Histogram& lat = manager_->chain_latency(id);
+    w.begin_object();
+    w.field("name", std::string_view(chains_.get(id).name));
+    w.field("entry_admitted", m.entry_admitted);
+    w.field("entry_throttle_drops", m.entry_throttle_drops);
+    w.field("egress_packets", m.egress_packets);
+    w.field("egress_bytes", m.egress_bytes);
+    w.field("throughput_mpps",
+            elapsed > 0
+                ? static_cast<double>(m.egress_packets) / elapsed / 1e6
+                : 0.0);
+    w.key("latency_cycles");
+    w.begin_object();
+    w.field("p50", lat.value_at_quantile(0.5));
+    w.field("p99", lat.value_at_quantile(0.99));
+    w.field("max", lat.max());
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("cores");
+  w.begin_array();
+  for (const auto& core : cores_) {
+    w.begin_object();
+    w.field("name", std::string_view(core->name()));
+    w.field("numa_node", static_cast<std::int64_t>(core->numa_node()));
+    w.field("busy_cycles", static_cast<std::int64_t>(core->busy_cycles()));
+    w.field("switch_overhead_cycles",
+            static_cast<std::int64_t>(core->switch_overhead_cycles()));
+    w.field("utilization",
+            engine_.now() > 0 ? static_cast<double>(core->busy_cycles()) /
+                                    static_cast<double>(engine_.now())
+                              : 0.0);
+    w.end_object();
+  }
+  w.end_array();
+
+  // Full registry dump: every instrument any component registered.
+  {
+    std::ostringstream metrics;
+    obs_.metrics().write_json(metrics);
+    w.key("metrics");
+    w.raw(metrics.str());
+  }
+
+  w.end_object();
+  out << '\n';
+}
+
+std::string Simulation::report_json() const {
+  std::ostringstream out;
+  report_json(out);
+  return out.str();
 }
 
 void Simulation::print_report(std::ostream& out) const {

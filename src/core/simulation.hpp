@@ -30,6 +30,7 @@
 #include "io/block_device.hpp"
 #include "mgr/manager.hpp"
 #include "nf/nf_task.hpp"
+#include "obs/observability.hpp"
 #include "pktio/mempool.hpp"
 #include "sched/core.hpp"
 #include "sim/engine.hpp"
@@ -87,6 +88,13 @@ struct UdpOptions {
   double start_seconds = 0.0;
   double stop_seconds = -1.0;
   std::uint8_t cost_classes = 0;
+  /// Inter-arrival jitter fraction / Poisson toggle / RNG seed, forwarded
+  /// to traffic::UdpSource::Config. The seed makes runs reproducible: two
+  /// simulations built identically with the same seeds replay the exact
+  /// same event sequence (the determinism suite depends on it).
+  double jitter_fraction = 0.1;
+  bool poisson = false;
+  std::uint64_t seed = 0x9e3779b9ULL;
 };
 
 struct TcpOptions {
@@ -184,6 +192,27 @@ class Simulation {
   /// Human-readable per-NF / per-chain summary.
   void print_report(std::ostream& out) const;
 
+  // -- observability ----------------------------------------------------------
+  /// The platform's metrics registry + trace attachment point. Every
+  /// component registered its instruments here at construction.
+  [[nodiscard]] obs::Observability& observability() { return obs_; }
+  [[nodiscard]] const obs::Observability& observability() const { return obs_; }
+
+  /// Start recording control-plane trace events (context switches, wakeups,
+  /// backpressure transitions, cpu.shares writes, ECN marks, drops) into
+  /// `recorder`. Also names the recorder's lanes after the topology. The
+  /// recorder is not owned and must outlive the simulation's activity;
+  /// export with recorder.write_chrome_json(). Call before run_for_seconds
+  /// to capture a complete stream.
+  void attach_trace(obs::TraceRecorder& recorder);
+
+  /// Machine-readable counterpart of print_report(): one JSON object with
+  /// "meta", "nfs", "chains", "cores" sections plus the full metrics
+  /// registry dump under "metrics". Byte-deterministic for a given
+  /// simulation state — two same-seed runs serialize identically.
+  void report_json(std::ostream& out) const;
+  [[nodiscard]] std::string report_json() const;
+
  private:
   void ensure_started();
   pktio::FlowKey next_flow_key(std::uint8_t proto);
@@ -194,6 +223,8 @@ class Simulation {
   std::unique_ptr<pktio::MbufPool> pool_;
   flow::FlowTable flows_;
   flow::ChainRegistry chains_;
+  // Declared before the components that register instruments into it.
+  obs::Observability obs_;
   std::vector<std::unique_ptr<sched::Core>> cores_;
   std::vector<std::unique_ptr<nf::NfTask>> nfs_;
   std::unique_ptr<mgr::Manager> manager_;

@@ -18,6 +18,17 @@ AsyncIoEngine::AsyncIoEngine(sim::Engine& engine, BlockDevice& device,
 
 AsyncIoEngine::~AsyncIoEngine() { engine_.cancel(flush_timer_); }
 
+void AsyncIoEngine::set_observability(obs::Observability* obs,
+                                      const std::string& owner_name) {
+  if (obs == nullptr) return;
+  obs::Scope scope = obs->nf_scope(owner_name);
+  scope.counter_fn("io.writes", [this] { return writes_; });
+  scope.counter_fn("io.bytes_written", [this] { return bytes_written_; });
+  scope.counter_fn("io.flushes", [this] { return flushes_; });
+  scope.counter_fn("io.reads", [this] { return reads_; });
+  scope.counter_fn("io.block_transitions", [this] { return blocked_count_; });
+}
+
 void AsyncIoEngine::write(std::uint64_t bytes, Callback done) {
   ++writes_;
   bytes_written_ += bytes;

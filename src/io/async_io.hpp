@@ -18,7 +18,10 @@
 #include <functional>
 #include <vector>
 
+#include <string>
+
 #include "io/block_device.hpp"
+#include "obs/observability.hpp"
 #include "sim/engine.hpp"
 
 namespace nfv::io {
@@ -61,6 +64,11 @@ class AsyncIoEngine {
   /// Invoked (from the I/O completion context) when would_block()
   /// transitions back to false — the manager uses it to wake the NF.
   void set_unblock_callback(Callback cb) { unblock_cb_ = std::move(cb); }
+
+  /// Project the engine's counters into the registry under the owning
+  /// NF's scope ({"nf", owner_name}); sampled probes only. Null-safe.
+  void set_observability(obs::Observability* obs,
+                         const std::string& owner_name);
 
   [[nodiscard]] std::uint64_t writes() const { return writes_; }
   [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }

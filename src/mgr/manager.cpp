@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <string>
 
 #include "common/logging.hpp"
 
@@ -15,13 +16,25 @@ const FlowCounters kZeroFlow{};
 
 Manager::Manager(sim::Engine& engine, pktio::MbufPool& pool,
                  flow::FlowTable& flows, flow::ChainRegistry& chains,
-                 ManagerConfig config)
+                 ManagerConfig config, obs::Observability* obs)
     : engine_(engine),
       pool_(pool),
       flows_(flows),
       chains_(chains),
       config_(config),
-      cgroup_(config.cgroup_write_cost) {}
+      cgroup_(config.cgroup_write_cost),
+      obs_(obs) {
+  if (obs_ != nullptr) {
+    obs::Scope scope = obs_->global_scope();
+    ctr_unmatched_drops_ = scope.counter("mgr.unmatched_drops");
+    ctr_wakeup_scans_ = scope.counter("mgr.wakeup_scans");
+    ctr_monitor_ticks_ = scope.counter("mgr.monitor_ticks");
+    scope.counter_fn("mgr.wire_ingress", [this] { return wire_ingress_; });
+    scope.counter_fn("mgr.cgroup_writes", [this] { return cgroup_.writes(); });
+    scope.counter_fn("mgr.cgroup_skipped_writes",
+                     [this] { return cgroup_.skipped_writes(); });
+  }
+}
 
 flow::NfId Manager::register_nf(nf::NfTask* task, sched::Core* core) {
   assert(!started_ && "register NFs before start()");
@@ -30,6 +43,31 @@ flow::NfId Manager::register_nf(nf::NfTask* task, sched::Core* core) {
   core->add_task(task);
   task->set_tx_notify([this, id](nf::NfTask&) { schedule_drain(id); });
   task->set_packet_release([this](pktio::Mbuf* pkt) { pool_.free(pkt); });
+  if (obs_ != nullptr) {
+    task->set_observability(obs_);
+    obs::Scope scope = obs_->nf_scope(task->config().name);
+    // records_ grows by push_back, so probes capture the stable id, never a
+    // reference into the vector (it would dangle on reallocation).
+    scope.counter_fn("mgr.offered",
+                     [this, id] { return records_[id].counters.offered; });
+    scope.counter_fn("mgr.rx_enqueued",
+                     [this, id] { return records_[id].counters.rx_enqueued; });
+    scope.counter_fn("mgr.rx_full_drops", [this, id] {
+      return records_[id].counters.rx_full_drops;
+    });
+    scope.counter_fn("mgr.wasted_drops_here", [this, id] {
+      return records_[id].counters.wasted_drops_here;
+    });
+    scope.counter_fn("mgr.downstream_drops", [this, id] {
+      return records_[id].counters.downstream_drops;
+    });
+    scope.gauge_fn("mgr.load",
+                   [this, id] { return records_[id].last_load; });
+    NfRecord& rec = records_[id];
+    rec.ecn_marks = scope.counter("mgr.ecn_marks");
+    rec.shares_writes = scope.counter("mgr.shares_writes");
+    rec.cpu_shares = scope.gauge("mgr.cpu_shares");
+  }
   return id;
 }
 
@@ -40,6 +78,31 @@ void Manager::start() {
   bp_ = std::make_unique<bp::BackpressureManager>(chains_, records_.size(),
                                                   config_.backpressure);
   ecn_ = std::make_unique<bp::EcnMarker>(records_.size(), config_.ecn);
+  if (obs_ != nullptr) {
+    std::vector<std::string> nf_names;
+    nf_names.reserve(records_.size());
+    for (const auto& rec : records_) nf_names.push_back(rec.task->config().name);
+    bp_->set_observability(obs_, std::move(nf_names));
+    for (flow::ChainId id = 0; id < chains_.size(); ++id) {
+      obs::Scope scope = obs_->chain_scope(std::to_string(id));
+      // chain_counters(id) bounds-checks, so probes survive the lazy
+      // resize ingress() performs for out-of-registry chain ids.
+      scope.counter_fn("chain.entry_admitted", [this, id] {
+        return chain_counters(id).entry_admitted;
+      });
+      scope.counter_fn("chain.entry_throttle_drops", [this, id] {
+        return chain_counters(id).entry_throttle_drops;
+      });
+      scope.counter_fn("chain.egress_packets", [this, id] {
+        return chain_counters(id).egress_packets;
+      });
+      scope.counter_fn("chain.egress_bytes",
+                       [this, id] { return chain_counters(id).egress_bytes; });
+      scope.gauge_fn("chain.latency_p99_cycles", [this, id] {
+        return static_cast<double>(chain_latency(id).value_at_quantile(0.99));
+      });
+    }
+  }
   engine_.schedule_periodic(config_.wakeup_period, [this] { wakeup_scan(); });
   engine_.schedule_periodic(config_.monitor_period, [this] { monitor_tick(); });
 }
@@ -49,6 +112,11 @@ void Manager::ingress(pktio::Mbuf* pkt, const pktio::FlowKey& key) {
   ++wire_ingress_;
   const flow::FlowEntry* entry = flows_.lookup(key);
   if (entry == nullptr) {
+    obs::inc(ctr_unmatched_drops_);
+    if (auto* tr = obs::trace_of(obs_)) {
+      tr->instant(engine_.now(), obs::kManagerLane, "mgr", "drop",
+                  {{"reason", "unmatched"}});
+    }
     drop(pkt);  // unmatched traffic is not steered anywhere
     return;
   }
@@ -70,6 +138,11 @@ void Manager::ingress(pktio::Mbuf* pkt, const pktio::FlowKey& key) {
   if (config_.enable_backpressure && bp_->chain_throttled(pkt->chain_id)) {
     ++records_[chains_.get(pkt->chain_id).hops.front()].counters.offered;
     ++cc.entry_throttle_drops;
+    if (auto* tr = obs::trace_of(obs_)) {
+      tr->instant(engine_.now(), obs::kManagerLane, "mgr", "drop",
+                  {{"reason", "entry_throttle"}},
+                  {{"chain", static_cast<std::int64_t>(pkt->chain_id)}});
+    }
     drop(pkt);
     return;
   }
@@ -87,6 +160,13 @@ void Manager::enqueue_to_nf(flow::NfId nf_id, pktio::Mbuf* pkt) {
     if (ecn_->on_enqueue(nf_id, task.rx_ring(), *pkt)) {
       if (pkt->flow_id >= fc.size()) fc.resize(pkt->flow_id + 1);
       ++fc[pkt->flow_id].ecn_marked;
+      obs::inc(rec.ecn_marks);
+      if (auto* tr = obs::trace_of(obs_)) {
+        tr->instant(engine_.now(), obs::kManagerLane, "mgr", "ecn_mark",
+                    {{"nf", task.config().name}},
+                    {{"flow", static_cast<std::int64_t>(pkt->flow_id)},
+                     {"qlen", static_cast<std::int64_t>(task.rx_ring().size())}});
+      }
     }
   }
 
@@ -100,6 +180,11 @@ void Manager::enqueue_to_nf(flow::NfId nf_id, pktio::Mbuf* pkt) {
       const auto& hops = chains_.get(pkt->chain_id).hops;
       ++records_[hops[pkt->chain_pos - 1]].counters.downstream_drops;
     }
+    if (auto* tr = obs::trace_of(obs_)) {
+      tr->instant(engine_.now(), obs::kManagerLane, "mgr", "drop",
+                  {{"reason", "rx_full"}, {"nf", task.config().name}},
+                  {{"chain_pos", static_cast<std::int64_t>(pkt->chain_pos)}});
+    }
     drop(pkt);
     return;
   }
@@ -108,7 +193,9 @@ void Manager::enqueue_to_nf(flow::NfId nf_id, pktio::Mbuf* pkt) {
   task.note_arrival();
   if (result == pktio::EnqueueResult::kOkOverloaded) {
     task.set_overload_flag(true);
-    if (config_.enable_backpressure) bp_->on_enqueue_feedback(nf_id, result);
+    if (config_.enable_backpressure) {
+      bp_->on_enqueue_feedback(nf_id, result, engine_.now());
+    }
   }
   if (config_.wake_on_arrival && !task.yield_flag()) {
     rec.core->wake(&task);
@@ -195,6 +282,7 @@ const FlowCounters& Manager::flow_counters(flow::FlowId id) const {
 
 void Manager::wakeup_scan() {
   const Cycles now = engine_.now();
+  obs::inc(ctr_wakeup_scans_);
   // Pass 1: advance every NF's backpressure state machine.
   for (flow::NfId id = 0; id < records_.size(); ++id) {
     nf::NfTask& task = *records_[id].task;
@@ -226,6 +314,7 @@ void Manager::wakeup_scan() {
 
 void Manager::monitor_tick() {
   const Cycles now = engine_.now();
+  obs::inc(ctr_monitor_ticks_);
   for (auto& rec : records_) {
     const std::uint64_t offered = rec.counters.offered;
     const auto delta = static_cast<double>(offered - rec.offered_at_last_tick);
@@ -279,7 +368,16 @@ void Manager::update_shares() {
       const auto shares = static_cast<std::uint32_t>(std::max(
           static_cast<double>(config_.min_shares),
           std::round(frac * config_.share_scale)));
-      cgroup_.set_shares(*other.task, shares);
+      const Cycles cost = cgroup_.set_shares(*other.task, shares);
+      if (cost > 0) {  // an actual sysfs write, not a skipped no-change
+        obs::inc(other.shares_writes);
+        obs::set(other.cpu_shares, static_cast<double>(shares));
+        if (auto* tr = obs::trace_of(obs_)) {
+          tr->counter(engine_.now(), obs::kManagerLane, "mgr", "cpu_shares",
+                      other.task->config().name,
+                      static_cast<std::int64_t>(shares));
+        }
+      }
     }
   }
 }

@@ -29,6 +29,7 @@
 #include "flow/flow_table.hpp"
 #include "flow/service_chain.hpp"
 #include "nf/nf_task.hpp"
+#include "obs/observability.hpp"
 #include "pktio/flow_key.hpp"
 #include "pktio/mempool.hpp"
 #include "sched/cgroup.hpp"
@@ -138,8 +139,13 @@ class Manager {
  public:
   using EgressSink = std::function<void(const pktio::Mbuf&)>;
 
+  /// `obs` (optional) is the platform observability context: the manager
+  /// registers its per-NF/per-chain counters there, forwards it to libnf
+  /// and the backpressure manager, and emits mgr trace events (drops, ECN
+  /// marks, cpu.shares writes) when a recorder is attached.
   Manager(sim::Engine& engine, pktio::MbufPool& pool, flow::FlowTable& flows,
-          flow::ChainRegistry& chains, ManagerConfig config = {});
+          flow::ChainRegistry& chains, ManagerConfig config = {},
+          obs::Observability* obs = nullptr);
 
   Manager(const Manager&) = delete;
   Manager& operator=(const Manager&) = delete;
@@ -204,6 +210,10 @@ class Manager {
     /// the sampling window would otherwise flap to "unknown" and destabilise
     /// every other NF's weight through the shared denominator.
     double last_service = 0.0;
+    // Observability instruments (null until an obs context is attached).
+    obs::Counter* ecn_marks = nullptr;
+    obs::Counter* shares_writes = nullptr;
+    obs::Gauge* cpu_shares = nullptr;
   };
 
   void enqueue_to_nf(flow::NfId nf_id, pktio::Mbuf* pkt);
@@ -234,6 +244,11 @@ class Manager {
   std::uint64_t wire_ingress_ = 0;
   std::uint32_t monitor_ticks_ = 0;
   bool started_ = false;
+
+  obs::Observability* obs_ = nullptr;
+  obs::Counter* ctr_unmatched_drops_ = nullptr;
+  obs::Counter* ctr_wakeup_scans_ = nullptr;
+  obs::Counter* ctr_monitor_ticks_ = nullptr;
 };
 
 }  // namespace nfv::mgr

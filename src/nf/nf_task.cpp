@@ -17,6 +17,38 @@ NfTask::NfTask(sim::Engine& engine, Config config)
       window_(config.sample_window),
       warmup_left_(config.warmup_samples) {}
 
+void NfTask::set_observability(obs::Observability* obs) {
+  if (obs == nullptr) return;
+  obs::Scope scope = obs->nf_scope(config_.name);
+  scope.counter_fn("nf.arrivals", [this] { return counters_.arrivals; });
+  scope.counter_fn("nf.processed", [this] { return counters_.processed; });
+  scope.counter_fn("nf.forwarded", [this] { return counters_.forwarded; });
+  scope.counter_fn("nf.handler_drops",
+                   [this] { return counters_.handler_drops; });
+  scope.counter_fn("nf.batch_yields", [this] { return counters_.batch_yields; });
+  scope.counter_fn("nf.empty_blocks", [this] { return counters_.empty_blocks; });
+  scope.counter_fn("nf.tx_full_blocks",
+                   [this] { return counters_.tx_full_blocks; });
+  scope.counter_fn("nf.io_blocks", [this] { return counters_.io_blocks; });
+  scope.counter_fn("nf.numa_remote_packets",
+                   [this] { return counters_.numa_remote_packets; });
+  scope.counter_fn("nf.runtime_cycles", [this] {
+    return static_cast<std::uint64_t>(stats().runtime);
+  });
+  scope.counter_fn("nf.wakeups", [this] { return stats().wakeups; });
+  scope.counter_fn("nf.voluntary_switches",
+                   [this] { return stats().voluntary_switches; });
+  scope.counter_fn("nf.involuntary_switches",
+                   [this] { return stats().involuntary_switches; });
+  scope.gauge_fn("nf.rx_queue_len",
+                 [this] { return static_cast<double>(rx_ring_.size()); });
+  scope.gauge_fn("nf.tx_queue_len",
+                 [this] { return static_cast<double>(tx_ring_.size()); });
+  scope.gauge_fn("nf.service_time_p50_cycles", [this] {
+    return static_cast<double>(histogram_.value_at_quantile(0.5));
+  });
+}
+
 void NfTask::attach_io(io::AsyncIoEngine* io_engine) {
   io_ = io_engine;
   if (io_ == nullptr) return;

@@ -21,6 +21,7 @@
 #include "common/histogram.hpp"
 #include "common/moving_window.hpp"
 #include "io/async_io.hpp"
+#include "obs/observability.hpp"
 #include "nf/cost_model.hpp"
 #include "pktio/ring.hpp"
 #include "sched/core.hpp"
@@ -81,6 +82,11 @@ class NfTask : public sched::Task {
   void set_tx_notify(Notify notify) { tx_notify_ = std::move(notify); }
   void set_packet_release(Release release) { release_ = std::move(release); }
   void attach_io(io::AsyncIoEngine* io_engine);
+
+  /// Project libnf's counters and queue depths into the metrics registry
+  /// under the {"nf", name} scope. Sampled probes only — the packet loop
+  /// pays nothing. Null-safe.
+  void set_observability(obs::Observability* obs);
 
   // -- data plane ----------------------------------------------------------
   [[nodiscard]] pktio::Ring& rx_ring() { return rx_ring_; }

@@ -1,0 +1,141 @@
+// Minimal deterministic JSON writer.
+//
+// The observability layer exports two machine-readable artifacts — the
+// metrics registry dump and the Chrome trace_event stream — and both are
+// covered by byte-identity determinism tests. Hence this writer: no
+// locale-sensitive formatting, no hash-ordered containers, doubles printed
+// with "%.17g" (round-trippable and bit-stable for the bit-identical values
+// a same-seed simulation produces).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace nfv::obs {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object() {
+    separate();
+    out_ << '{';
+    stack_.push_back(false);
+  }
+  void end_object() {
+    stack_.pop_back();
+    out_ << '}';
+  }
+  void begin_array() {
+    separate();
+    out_ << '[';
+    stack_.push_back(false);
+  }
+  void end_array() {
+    stack_.pop_back();
+    out_ << ']';
+  }
+
+  void key(std::string_view k) {
+    separate();
+    write_string(k);
+    out_ << ':';
+    pending_value_ = true;
+  }
+
+  void value(std::string_view s) {
+    separate();
+    write_string(s);
+  }
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b) {
+    separate();
+    out_ << (b ? "true" : "false");
+  }
+  void value(std::uint64_t v) {
+    separate();
+    out_ << v;
+  }
+  void value(std::int64_t v) {
+    separate();
+    out_ << v;
+  }
+  void value(std::uint32_t v) { value(static_cast<std::uint64_t>(v)); }
+  void value(std::int32_t v) { value(static_cast<std::int64_t>(v)); }
+  void value(double v) {
+    separate();
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ << buf;
+  }
+
+  template <typename T>
+  void field(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+  /// Splice pre-serialized JSON (e.g. a registry dump) in value position.
+  void raw(std::string_view json) {
+    separate();
+    out_ << json;
+  }
+
+ private:
+  /// Emit the separating comma for the second and later items of the
+  /// innermost container; a value immediately after key() never separates.
+  void separate() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!stack_.empty()) {
+      if (stack_.back()) out_ << ',';
+      stack_.back() = true;
+    }
+  }
+
+  void write_string(std::string_view s) {
+    out_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out_ << "\\\"";
+          break;
+        case '\\':
+          out_ << "\\\\";
+          break;
+        case '\n':
+          out_ << "\\n";
+          break;
+        case '\r':
+          out_ << "\\r";
+          break;
+        case '\t':
+          out_ << "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ << buf;
+          } else {
+            out_ << c;
+          }
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostream& out_;
+  std::vector<bool> stack_;  // per open container: "has at least one item"
+  bool pending_value_ = false;
+};
+
+}  // namespace nfv::obs

@@ -1,0 +1,52 @@
+// The observability context threaded through the platform.
+//
+// One Observability instance per Simulation bundles the always-on metrics
+// registry with an optional trace recorder. Components take a nullable
+// Observability* (so they stay constructible in isolation for unit tests)
+// and guard every trace emission behind trace() — the null-sink fast path:
+// with no recorder attached an instrumented call site costs one or two
+// pointer tests and nothing else.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace nfv::obs {
+
+class Observability {
+ public:
+  Observability() = default;
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Attach (or detach with nullptr) a trace recorder. Not owned; the
+  /// recorder must outlive tracing activity.
+  void attach_trace(TraceRecorder* recorder) { trace_ = recorder; }
+  [[nodiscard]] TraceRecorder* trace() const { return trace_; }
+
+  /// Scope helpers establishing the platform's label conventions.
+  [[nodiscard]] Scope nf_scope(const std::string& nf_name) {
+    return Scope(&metrics_, {{"nf", nf_name}});
+  }
+  [[nodiscard]] Scope core_scope(const std::string& core_name) {
+    return Scope(&metrics_, {{"core", core_name}});
+  }
+  [[nodiscard]] Scope chain_scope(const std::string& chain_name) {
+    return Scope(&metrics_, {{"chain", chain_name}});
+  }
+  [[nodiscard]] Scope global_scope() { return Scope(&metrics_, {}); }
+
+ private:
+  MetricsRegistry metrics_;
+  TraceRecorder* trace_ = nullptr;
+};
+
+/// Null-safe accessor for optional contexts.
+inline TraceRecorder* trace_of(Observability* obs) {
+  return obs != nullptr ? obs->trace() : nullptr;
+}
+
+}  // namespace nfv::obs

@@ -1,0 +1,70 @@
+#include "obs/trace.hpp"
+
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace nfv::obs {
+
+void TraceRecorder::record(TraceEvent ev) {
+  if (events_.size() >= config_.max_events) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(ev));
+}
+
+void TraceRecorder::write_chrome_json(std::ostream& out) const {
+  const double cycles_per_us = config_.cpu_hz / 1e6;
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("traceEvents");
+  json.begin_array();
+  // Thread-name metadata first (Chrome reads 'M' events in any position,
+  // but a fixed position keeps the stream canonical for diffing).
+  for (const auto& [lane, name] : lane_names_) {
+    json.begin_object();
+    json.field("name", "thread_name");
+    json.field("ph", "M");
+    json.field("pid", std::uint64_t{0});
+    json.field("tid", std::uint64_t{lane});
+    json.key("args");
+    json.begin_object();
+    json.field("name", std::string_view(name));
+    json.end_object();
+    json.end_object();
+  }
+  for (const TraceEvent& ev : events_) {
+    json.begin_object();
+    json.field("name", std::string_view(ev.name));
+    json.field("cat", std::string_view(ev.cat));
+    json.key("ph");
+    json.value(std::string_view(&ev.phase, 1));
+    json.field("ts", static_cast<double>(ev.ts) / cycles_per_us);
+    json.field("pid", std::uint64_t{0});
+    json.field("tid", std::uint64_t{ev.lane});
+    if (ev.phase == 'i') json.field("s", "t");  // instant scope: thread
+    if (!ev.args.empty() || !ev.num_args.empty()) {
+      json.key("args");
+      json.begin_object();
+      for (const auto& [k, v] : ev.args) {
+        json.field(std::string_view(k), std::string_view(v));
+      }
+      for (const auto& [k, v] : ev.num_args) {
+        json.field(std::string_view(k), v);
+      }
+      json.end_object();
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.field("displayTimeUnit", "ns");
+  json.key("otherData");
+  json.begin_object();
+  json.field("dropped_events", dropped_);
+  json.field("cpu_hz", config_.cpu_hz);
+  json.end_object();
+  json.end_object();
+}
+
+}  // namespace nfv::obs

@@ -1,0 +1,118 @@
+// Structured event tracing on the simulation's deterministic clock.
+//
+// A TraceRecorder captures the control-plane events the paper's figures
+// are built from — context switches, wakeups, yields, backpressure
+// CLEAR→WATCH→THROTTLE transitions, cpu.shares writes, ECN marks, drops —
+// as timestamped records, and exports them in the Chrome trace_event JSON
+// format (open chrome://tracing or https://ui.perfetto.dev and load the
+// file). Timestamps come from the event engine, so two same-seed runs
+// produce byte-identical streams: the determinism suite diffs them.
+//
+// Recording is opt-in. Components hold a nullable recorder pointer (via
+// obs::Observability) and skip all event construction when none is
+// attached — the null-sink fast path; an unattached simulation pays one
+// pointer test per would-be event.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace nfv::obs {
+
+/// Trace lanes ("tid" in the Chrome format). Cores use their index; the
+/// manager's actor threads get fixed high lanes so they never collide.
+inline constexpr std::uint32_t kManagerLane = 900;
+inline constexpr std::uint32_t kBackpressureLane = 901;
+
+struct TraceEvent {
+  Cycles ts = 0;            ///< Engine time the event fired.
+  char phase = 'i';         ///< Chrome phase: 'i' instant, 'C' counter.
+  std::uint32_t lane = 0;   ///< Rendered as the Chrome thread id.
+  std::string cat;          ///< Category, e.g. "sched", "bp", "mgr".
+  std::string name;         ///< Event name, e.g. "ctx_switch".
+  std::vector<std::pair<std::string, std::string>> args;      ///< String args.
+  std::vector<std::pair<std::string, std::int64_t>> num_args; ///< Numeric args.
+};
+
+class TraceRecorder {
+ public:
+  struct Config {
+    /// Ring-less cap: events past the cap are counted, not stored. Keeps a
+    /// pathological run (millions of drops) from exhausting memory while
+    /// preserving determinism of what *is* stored.
+    std::size_t max_events = 1'000'000;
+    /// Used only to convert cycle timestamps to the microseconds Chrome
+    /// expects on export.
+    double cpu_hz = kDefaultCpuHz;
+  };
+
+  TraceRecorder() = default;
+  explicit TraceRecorder(Config config) : config_(config) {}
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Record an instant event. Convenience over record() for call sites.
+  void instant(
+      Cycles ts, std::uint32_t lane, std::string cat, std::string name,
+      std::vector<std::pair<std::string, std::string>> args = {},
+      std::vector<std::pair<std::string, std::int64_t>> num_args = {}) {
+    TraceEvent ev;
+    ev.ts = ts;
+    ev.phase = 'i';
+    ev.lane = lane;
+    ev.cat = std::move(cat);
+    ev.name = std::move(name);
+    ev.args = std::move(args);
+    ev.num_args = std::move(num_args);
+    record(std::move(ev));
+  }
+
+  /// Record a Chrome counter event (renders as a stacked time series).
+  void counter(Cycles ts, std::uint32_t lane, std::string cat,
+               std::string name, std::string series, std::int64_t value) {
+    TraceEvent ev;
+    ev.ts = ts;
+    ev.phase = 'C';
+    ev.lane = lane;
+    ev.cat = std::move(cat);
+    ev.name = std::move(name);
+    ev.num_args.emplace_back(std::move(series), value);
+    record(std::move(ev));
+  }
+
+  void record(TraceEvent ev);
+
+  /// Human-readable lane name, exported as Chrome thread_name metadata.
+  void set_lane_name(std::uint32_t lane, std::string name) {
+    lane_names_[lane] = std::move(name);
+  }
+
+  /// Full export: {"traceEvents":[...]} with thread metadata first.
+  void write_chrome_json(std::ostream& out) const;
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::uint64_t dropped_events() const { return dropped_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+ private:
+  Config config_;
+  std::vector<TraceEvent> events_;
+  std::map<std::uint32_t, std::string> lane_names_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace nfv::obs

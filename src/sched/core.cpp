@@ -28,12 +28,35 @@ void Core::add_task(Task* task) {
   tasks_.push_back(task);
 }
 
+void Core::set_observability(obs::Observability* obs, std::uint32_t lane) {
+  obs_ = obs;
+  lane_ = lane;
+  if (obs == nullptr) return;
+  obs::Scope scope = obs->core_scope(name_);
+  ctr_ctx_switches_ = scope.counter("sched.context_switches");
+  ctr_wakeups_ = scope.counter("sched.wakeups");
+  ctr_preemptions_ = scope.counter("sched.preemptions");
+  ctr_yields_ = scope.counter("sched.voluntary_yields");
+  ctr_switch_cycles_ = scope.counter("sched.switch_overhead_cycles");
+  scope.counter_fn("sched.busy_cycles", [this] {
+    return static_cast<std::uint64_t>(busy_cycles());
+  });
+  scope.gauge_fn("sched.runnable_tasks", [this] {
+    return static_cast<double>(scheduler_->runnable_count());
+  });
+}
+
 void Core::wake(Task* task) {
   assert(task->core() == this);
   auto& stats = task->mutable_stats();
   ++stats.wakeups;
   if (task->state() != TaskState::kBlocked) return;  // semaphore already up
 
+  obs::inc(ctr_wakeups_);
+  if (auto* trace = obs::trace_of(obs_)) {
+    trace->instant(engine_.now(), lane_, "sched", "wakeup",
+                   {{"task", task->name()}});
+  }
   task->set_state(TaskState::kRunnable);
   task->last_wake_time_ = engine_.now();
   task->woken_since_dispatch_ = true;
@@ -56,6 +79,12 @@ void Core::yield_current(Task* task, bool will_block) {
   assert(task == current_ && "only the running task may yield");
   account_running(/*stint_ends=*/true);
   ++task->mutable_stats().voluntary_switches;
+  obs::inc(ctr_yields_);
+  if (auto* trace = obs::trace_of(obs_)) {
+    trace->instant(engine_.now(), lane_, "sched", "yield",
+                   {{"task", task->name()}},
+                   {{"will_block", will_block ? 1 : 0}});
+  }
   current_ = nullptr;
   if (will_block) {
     task->set_state(TaskState::kBlocked);
@@ -94,6 +123,15 @@ void Core::schedule_dispatch() {
       (last_ran_ != nullptr && next != last_ran_) ? config_.context_switch_cost
                                                   : 0;
   switch_overhead_ += gap;
+  if (gap > 0) {
+    obs::inc(ctr_ctx_switches_);
+    obs::inc(ctr_switch_cycles_, static_cast<std::uint64_t>(gap));
+    if (auto* trace = obs::trace_of(obs_)) {
+      trace->instant(engine_.now(), lane_, "sched", "ctx_switch",
+                     {{"from", last_ran_->name()}, {"to", next->name()}},
+                     {{"cost_cycles", gap}});
+    }
+  }
   current_ = next;
   next->set_state(TaskState::kRunning);
   stint_start_ = account_start_ = engine_.now() + gap;
@@ -139,6 +177,11 @@ void Core::preempt_current() {
   task->on_preempt(engine_.now());
   account_running(/*stint_ends=*/true);
   ++task->mutable_stats().involuntary_switches;
+  obs::inc(ctr_preemptions_);
+  if (auto* trace = obs::trace_of(obs_)) {
+    trace->instant(engine_.now(), lane_, "sched", "preempt",
+                   {{"task", task->name()}});
+  }
   task->set_state(TaskState::kRunnable);
   scheduler_->enqueue(task, /*is_wakeup=*/false);
   current_ = nullptr;

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/observability.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/task.hpp"
 #include "sim/engine.hpp"
@@ -78,6 +79,13 @@ class Core {
   [[nodiscard]] const std::vector<Task*>& tasks() const { return tasks_; }
   [[nodiscard]] int numa_node() const { return config_.numa_node; }
 
+  /// Attach the observability context: registers this core's scheduler
+  /// counters under the {"core", name} scope and emits sched trace events
+  /// (ctx_switch / wakeup / yield / preempt) on trace `lane` whenever a
+  /// recorder is attached. Null-safe; may be called before or after tasks
+  /// are added.
+  void set_observability(obs::Observability* obs, std::uint32_t lane);
+
  private:
   void schedule_dispatch();
   void start_running(Task* task);
@@ -106,6 +114,15 @@ class Core {
 
   Cycles busy_ = 0;
   Cycles switch_overhead_ = 0;
+
+  // Observability (null until set_observability; guarded on every use).
+  obs::Observability* obs_ = nullptr;
+  std::uint32_t lane_ = 0;
+  obs::Counter* ctr_ctx_switches_ = nullptr;
+  obs::Counter* ctr_wakeups_ = nullptr;
+  obs::Counter* ctr_preemptions_ = nullptr;
+  obs::Counter* ctr_yields_ = nullptr;
+  obs::Counter* ctr_switch_cycles_ = nullptr;
 };
 
 }  // namespace nfv::sched

@@ -21,13 +21,20 @@ EventId Engine::schedule_periodic(Cycles period, Callback cb) {
   // the logical->occurrence map so cancel(logical) always finds the live one.
   auto rearm = std::make_shared<Callback>();
   auto shared_cb = std::make_shared<Callback>(std::move(cb));
-  *rearm = [this, logical, period, shared_cb, rearm]() {
+  // The engine owns the wrapper (periodic_rearm_); occurrences capture a
+  // weak_ptr so cancel()/destruction release it instead of a shared_ptr
+  // cycle keeping it alive forever.
+  std::weak_ptr<Callback> weak_rearm = rearm;
+  *rearm = [this, logical, period, shared_cb, weak_rearm]() {
     (*shared_cb)();
     // The callback may have cancelled the periodic task.
     auto it = periodic_current_.find(logical);
     if (it == periodic_current_.end()) return;
-    it->second = schedule_at(now_ + period, *rearm);
+    auto self = weak_rearm.lock();
+    if (!self) return;
+    it->second = schedule_at(now_ + period, *self);
   };
+  periodic_rearm_[logical] = rearm;
   periodic_current_[logical] = schedule_at(now_ + period, *rearm);
   return logical;
 }
@@ -37,6 +44,7 @@ bool Engine::cancel(EventId id) {
   if (auto it = periodic_current_.find(id); it != periodic_current_.end()) {
     const EventId occurrence = it->second;
     periodic_current_.erase(it);
+    periodic_rearm_.erase(id);
     cancelled_.insert(occurrence);
     return true;
   }

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
@@ -84,6 +85,10 @@ class Engine {
   // Maps the stable id handed to callers of schedule_periodic() to the id of
   // the currently-armed occurrence, so cancel() works across re-arms.
   std::unordered_map<EventId, EventId> periodic_current_;
+  // Owns each periodic task's re-arming wrapper; the scheduled occurrences
+  // hold only weak references, so cancellation (or engine destruction)
+  // releases the callback instead of leaking a self-referencing cycle.
+  std::unordered_map<EventId, std::shared_ptr<Callback>> periodic_rearm_;
 };
 
 }  // namespace nfv::sim

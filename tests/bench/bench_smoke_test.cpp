@@ -1,0 +1,113 @@
+// Golden-figure smoke test: tiny-scale versions of the fig07 / tab03
+// experiments, asserting the paper's headline orderings hold and that the
+// benches' machine-readable (--json / report_json) output carries the same
+// numbers. Scaled down (~20 ms simulated) so it runs inside ctest; the
+// full-size figures live in bench/.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "harness.hpp"
+
+namespace {
+
+// Tiny fig07/tab03 chain: 3 NFs (120/270/550 cycles) on one core, 6 Mpps.
+bench::ChainSpec tiny_spec() {
+  bench::ChainSpec spec;
+  spec.costs = {120, 270, 550};
+  spec.rate_pps = 6e6;
+  spec.secs = 0.02;
+  return spec;
+}
+
+// Minimal extraction of `"key":<number>` from a JSON document (first
+// occurrence). Good enough for asserting on our own deterministic output.
+double json_number(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = json.find(needle);
+  EXPECT_NE(pos, std::string::npos) << "missing key " << key;
+  if (pos == std::string::npos) return -1.0;
+  return std::stod(json.substr(pos + needle.size()));
+}
+
+std::uint64_t total_wasted(const bench::ChainResult& r) {
+  double total = 0;
+  for (const double v : r.wasted_by_pps) total += v;
+  return static_cast<std::uint64_t>(total);
+}
+
+TEST(BenchSmoke, Fig07NfvniceBeatsDefaultThroughput) {
+  const auto spec = tiny_spec();
+  const auto dflt = bench::run_chain(bench::kModeDefault, bench::kBatch, spec);
+  const auto nice = bench::run_chain(bench::kModeNfvnice, bench::kBatch, spec);
+  // The paper's headline (Fig. 7): NFVnice >= Default under every
+  // scheduler. At this scale the gap is well over the run-to-run noise.
+  EXPECT_GE(nice.egress_mpps, dflt.egress_mpps);
+  EXPECT_GT(nice.egress_mpps, 0.5);  // the chain actually carried traffic
+  // Overload is shed at the entry under NFVnice, not after processing.
+  EXPECT_GT(nice.entry_drops, 0u);
+  EXPECT_EQ(dflt.entry_drops, 0u);
+}
+
+TEST(BenchSmoke, Tab03BackpressureCollapsesWastedWork) {
+  const auto spec = tiny_spec();
+  const auto dflt = bench::run_chain(bench::kModeDefault, bench::kBatch, spec);
+  const auto bkpr = bench::run_chain(bench::kModeBkpr, bench::kBatch, spec);
+  // Table 3's point: Default wastes work (packets processed by NF1/NF2 die
+  // at the next queue); backpressure alone collapses that drop rate.
+  EXPECT_GT(total_wasted(dflt), 0u);
+  EXPECT_LT(total_wasted(bkpr), total_wasted(dflt));
+}
+
+TEST(BenchSmoke, ReportJsonMatchesChainResult) {
+  const auto spec = tiny_spec();
+  std::string report;
+  const auto nice =
+      bench::run_chain(bench::kModeNfvnice, bench::kBatch, spec, &report);
+
+  // Structurally a single JSON object...
+  ASSERT_FALSE(report.empty());
+  EXPECT_EQ(report.front(), '{');
+  int depth = 0;
+  for (const char c : report) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+  }
+  EXPECT_EQ(depth, 0) << "unbalanced braces in report_json";
+
+  // ...whose chain section carries the same numbers the harness computed.
+  const double egress_packets = json_number(report, "egress_packets");
+  EXPECT_NEAR(egress_packets / spec.secs / 1e6, nice.egress_mpps, 1e-9);
+  const double entry_drops = json_number(report, "entry_throttle_drops");
+  EXPECT_EQ(static_cast<std::uint64_t>(entry_drops), nice.entry_drops);
+  EXPECT_GT(json_number(report, "elapsed_seconds"), 0.0);
+  EXPECT_GT(json_number(report, "dispatched_events"), 0.0);
+  // The registry dump rode along.
+  EXPECT_NE(report.find("\"metrics\":["), std::string::npos);
+  EXPECT_NE(report.find("sched.context_switches"), std::string::npos);
+  EXPECT_NE(report.find("bp.throttle_entries"), std::string::npos);
+}
+
+TEST(BenchSmoke, JsonReportDocumentShape) {
+  // The --json path benches use: one document, rows per configuration.
+  const auto spec = tiny_spec();
+  std::string report;
+  const auto result =
+      bench::run_chain(bench::kModeDefault, bench::kBatch, spec, &report);
+
+  testing::internal::CaptureStdout();
+  bench::JsonReport doc("smoke");
+  doc.add_row(bench::kModeDefault, bench::kBatch, result, report);
+  doc.finish();
+  const std::string out = testing::internal::GetCapturedStdout();
+
+  EXPECT_EQ(out.rfind("{\"bench\":\"smoke\",\"rows\":[", 0), 0u);
+  EXPECT_NE(out.find("\"mode\":\"Default\""), std::string::npos);
+  EXPECT_NE(out.find("\"scheduler\":\"BATCH\""), std::string::npos);
+  EXPECT_NE(out.find("\"egress_mpps\":"), std::string::npos);
+  EXPECT_NE(out.find("\"report\":{"), std::string::npos);
+}
+
+}  // namespace

@@ -180,5 +180,153 @@ TEST_F(BackpressureTest, MultipleThrottlersRequireAllToClear) {
   EXPECT_FALSE(bp_->chain_throttled(chain1_));
 }
 
+TEST_F(BackpressureTest, ExactlyAtHighWatermarkCountsAsAbove) {
+  // Boundary semantics: enqueue feedback and evaluate() both treat
+  // "qlen == HIGH_WATER_MARK" as overloaded (count >= mark, §3.5's
+  // "below the high watermark" admission test is strict).
+  pktio::Ring ring(64, 0.8, 0.6);
+  ASSERT_EQ(ring.high_watermark(), 51u);
+  fill(ring, 50, /*when=*/0);  // one below the mark
+  EXPECT_FALSE(ring.above_high_watermark());
+  EXPECT_EQ(bp_->evaluate(1, ring, 10), ThrottleState::kClear);
+
+  fill(ring, 51, /*when=*/0);  // exactly at the mark
+  EXPECT_TRUE(ring.above_high_watermark());
+  EXPECT_EQ(bp_->evaluate(1, ring, 20), ThrottleState::kWatch);
+  // And the aged head escalates from exactly-at-the-mark too.
+  EXPECT_EQ(bp_->evaluate(1, ring, 5000), ThrottleState::kThrottle);
+  drain(ring, 0);
+}
+
+TEST_F(BackpressureTest, DegenerateHysteresisLowEqualsHigh) {
+  // LOW == HIGH removes the hysteresis band entirely: one packet under the
+  // mark must clear a throttle, and re-crossing re-enters Watch (the
+  // flappy behaviour the 20-point margin of §4.3.8 exists to avoid — but
+  // the state machine must stay consistent, never stuck or double-counted).
+  pktio::Ring ring(64, 0.8, 0.8);
+  ASSERT_EQ(ring.high_watermark(), ring.low_watermark());
+  const std::size_t mark = ring.high_watermark();
+
+  fill(ring, mark, 0);
+  EXPECT_EQ(bp_->evaluate(1, ring, 10), ThrottleState::kWatch);
+  EXPECT_EQ(bp_->evaluate(1, ring, 5000), ThrottleState::kThrottle);
+  EXPECT_TRUE(bp_->chain_throttled(chain1_));
+
+  drain(ring, mark - 1);  // one under the shared mark
+  EXPECT_EQ(bp_->evaluate(1, ring, 6000), ThrottleState::kClear);
+  EXPECT_FALSE(bp_->chain_throttled(chain1_));
+
+  // Flap back up: a fresh Watch -> Throttle cycle, counted exactly once
+  // more, and the chain throttle refcount returns to 1, not 2.
+  fill(ring, mark, /*when=*/6000);
+  EXPECT_EQ(bp_->evaluate(1, ring, 6010), ThrottleState::kWatch);
+  EXPECT_EQ(bp_->evaluate(1, ring, 20000), ThrottleState::kThrottle);
+  EXPECT_EQ(bp_->stats().throttle_entries, 2u);
+  EXPECT_EQ(bp_->stats().throttle_clears, 1u);
+  EXPECT_TRUE(bp_->chain_throttled(chain1_));
+  drain(ring, mark - 1);
+  bp_->evaluate(1, ring, 21000);
+  EXPECT_FALSE(bp_->chain_throttled(chain1_));
+  drain(ring, 0);
+}
+
+TEST_F(BackpressureTest, LowAboveHighIsClampedNotInverted) {
+  // A misconfigured LOW > HIGH must not create a band where a queue is
+  // simultaneously "above high" and "below low" (Watch would oscillate per
+  // scan). The ring clamps LOW down to HIGH.
+  pktio::Ring ring(64, 0.5, 0.9);
+  EXPECT_LE(ring.low_watermark(), ring.high_watermark());
+  fill(ring, ring.high_watermark(), 0);
+  EXPECT_FALSE(ring.below_low_watermark());
+  EXPECT_EQ(bp_->evaluate(1, ring, 10), ThrottleState::kWatch);
+  EXPECT_EQ(bp_->evaluate(1, ring, 5000), ThrottleState::kThrottle);
+  drain(ring, 0);
+  EXPECT_EQ(bp_->evaluate(1, ring, 6000), ThrottleState::kClear);
+}
+
+TEST_F(BackpressureTest, ChainHeadThrottleShedsAtEntryNotUpstream) {
+  // NF0 is the FIRST hop of both chains: when it throttles there is no
+  // upstream NF to pause — relief comes purely from selective early
+  // discard at the entry point. The throttler itself must keep running to
+  // drain, and its *downstream* NFs must not be paused either.
+  pktio::Ring ring(64, 0.8, 0.6);
+  fill(ring, 52, 0);
+  bp_->evaluate(0, ring, 10);
+  bp_->evaluate(0, ring, 5000);
+  ASSERT_EQ(bp_->state(0), ThrottleState::kThrottle);
+
+  // Both chains enter through NF0: both get shed at the wire.
+  EXPECT_TRUE(bp_->chain_throttled(chain1_));
+  EXPECT_TRUE(bp_->chain_throttled(chain2_));
+
+  // Nobody is upstream of the head; nobody downstream is paused.
+  EXPECT_FALSE(bp_->should_pause_upstream(0));
+  EXPECT_FALSE(bp_->should_pause_upstream(1));
+  EXPECT_FALSE(bp_->should_pause_upstream(2));
+  EXPECT_FALSE(bp_->should_pause_upstream(3));
+  drain(ring, 0);
+}
+
+TEST_F(BackpressureTest, EnqueueFeedbackIgnoresUnknownNf) {
+  // The manager guards, but the API must also be safe standalone.
+  bp_->on_enqueue_feedback(99, pktio::EnqueueResult::kOkOverloaded);
+  for (flow::NfId nf = 0; nf < 4; ++nf) {
+    EXPECT_EQ(bp_->state(nf), ThrottleState::kClear);
+  }
+}
+
+TEST_F(BackpressureTest, FeedbackDoesNotDemoteWatchOrThrottle) {
+  pktio::Ring ring(64, 0.8, 0.6);
+  fill(ring, 52, 0);
+  bp_->evaluate(1, ring, 10);
+  bp_->evaluate(1, ring, 5000);
+  ASSERT_EQ(bp_->state(1), ThrottleState::kThrottle);
+  // A later kOk enqueue (queue drained below HIGH between scans) must not
+  // short-circuit the hysteresis — only evaluate() clears.
+  bp_->on_enqueue_feedback(1, pktio::EnqueueResult::kOk);
+  EXPECT_EQ(bp_->state(1), ThrottleState::kThrottle);
+  drain(ring, 0);
+}
+
+TEST_F(BackpressureTest, ObservabilityCountsTransitionsPerNf) {
+  obs::Observability obs;
+  obs::TraceRecorder trace;
+  obs.attach_trace(&trace);
+  bp_->set_observability(&obs, {"NF0", "NF1", "NF2", "NF3"});
+
+  pktio::Ring ring(64, 0.8, 0.6);
+  fill(ring, 52, 0);
+  bp_->evaluate(1, ring, 10);     // Clear -> Watch
+  bp_->evaluate(1, ring, 5000);   // Watch -> Throttle
+  drain(ring, 0);
+  bp_->evaluate(1, ring, 6000);   // Throttle -> Clear
+
+  const auto* watches =
+      obs.metrics().find_counter("bp.watch_entries", {{"nf", "NF1"}});
+  const auto* throttles =
+      obs.metrics().find_counter("bp.throttle_entries", {{"nf", "NF1"}});
+  const auto* clears =
+      obs.metrics().find_counter("bp.throttle_clears", {{"nf", "NF1"}});
+  ASSERT_NE(watches, nullptr);
+  ASSERT_NE(throttles, nullptr);
+  ASSERT_NE(clears, nullptr);
+  EXPECT_EQ(watches->value(), 1u);
+  EXPECT_EQ(throttles->value(), 1u);
+  EXPECT_EQ(clears->value(), 1u);
+  // NF2 never transitioned.
+  EXPECT_EQ(
+      obs.metrics().find_counter("bp.watch_entries", {{"nf", "NF2"}})->value(),
+      0u);
+
+  // The full CLEAR -> WATCH -> THROTTLE -> CLEAR arc landed in the trace,
+  // on the backpressure lane, in order.
+  ASSERT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.events()[0].lane, obs::kBackpressureLane);
+  EXPECT_EQ(trace.events()[0].args[1].second, "CLEAR");
+  EXPECT_EQ(trace.events()[0].args[2].second, "WATCH");
+  EXPECT_EQ(trace.events()[1].args[2].second, "THROTTLE");
+  EXPECT_EQ(trace.events()[2].args[2].second, "CLEAR");
+}
+
 }  // namespace
 }  // namespace nfv::bp

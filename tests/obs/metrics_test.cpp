@@ -1,0 +1,187 @@
+// MetricsRegistry: instrument registration, label scoping, sampled probes,
+// histogram percentiles, and the deterministic JSON export.
+
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/observability.hpp"
+
+namespace nfv::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterGetOrCreateIsIdempotent) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("mgr.drops", {{"nf", "NF1"}});
+  Counter& b = reg.counter("mgr.drops", {{"nf", "NF1"}});
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  b.inc();
+  EXPECT_EQ(a.value(), 4u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, LabelOrderDoesNotMatter) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x", {{"a", "1"}, {"b", "2"}});
+  Counter& b = reg.counter("x", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, DifferentLabelsAreDifferentSeries) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("nf.processed", {{"nf", "NF1"}});
+  Counter& b = reg.counter("nf.processed", {{"nf", "NF2"}});
+  Counter& c = reg.counter("nf.processed");
+  EXPECT_NE(&a, &b);
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(MetricsRegistry, FindWithoutCreating) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.find_counter("absent"), nullptr);
+  reg.counter("present", {{"nf", "NF1"}}).inc(7);
+  EXPECT_EQ(reg.find_counter("present"), nullptr);  // unlabeled != labeled
+  const Counter* c = reg.find_counter("present", {{"nf", "NF1"}});
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), 7u);
+  EXPECT_EQ(reg.size(), 1u);  // find never creates
+}
+
+TEST(MetricsRegistry, GaugeSetAndAdd) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("sched.runnable");
+  g.set(4.0);
+  g.add(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  const Gauge* found = reg.find_gauge("sched.runnable");
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(found->value(), 2.5);
+}
+
+TEST(MetricsRegistry, NullSafeHelpers) {
+  // Components increment through these with no registry attached; must be
+  // a no-op, not a crash.
+  inc(nullptr);
+  inc(nullptr, 10);
+  set(nullptr, 3.0);
+  Counter c;
+  inc(&c, 2);
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(MetricsRegistry, SampledCounterFnEvaluatedAtExport) {
+  MetricsRegistry reg;
+  std::uint64_t source = 0;
+  reg.counter_fn("live.value", {}, [&source] { return source; });
+  source = 41;
+  EXPECT_EQ(reg.sample_counter("live.value"), 41u);
+  source = 42;
+  EXPECT_EQ(reg.sample_counter("live.value"), 42u);
+  EXPECT_EQ(reg.sample_counter("no.such.probe"), 0u);
+}
+
+TEST(MetricsRegistry, HistogramPercentiles) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat", {}, /*max_value=*/1 << 20,
+                               /*buckets_per_octave=*/16);
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<std::uint64_t>(i));
+  // Log-bucketed: quantiles land within one bucket (~4.4%) of the exact
+  // rank statistic.
+  EXPECT_NEAR(static_cast<double>(h.value_at_quantile(0.5)), 500.0, 25.0);
+  EXPECT_NEAR(static_cast<double>(h.value_at_quantile(0.99)), 990.0, 50.0);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+}
+
+TEST(MetricsRegistry, ScopeAppendsLabels) {
+  MetricsRegistry reg;
+  Scope scope(&reg, {{"nf", "NF2"}});
+  ASSERT_TRUE(scope.attached());
+  Counter* c = scope.counter("bp.throttles");
+  ASSERT_NE(c, nullptr);
+  c->inc(5);
+  EXPECT_EQ(reg.find_counter("bp.throttles", {{"nf", "NF2"}}), c);
+}
+
+TEST(MetricsRegistry, DetachedScopeReturnsNull) {
+  Scope scope;
+  EXPECT_FALSE(scope.attached());
+  EXPECT_EQ(scope.counter("x"), nullptr);
+  EXPECT_EQ(scope.gauge("y"), nullptr);
+  EXPECT_EQ(scope.histogram("z"), nullptr);
+  scope.counter_fn("f", [] { return 0ull; });  // no-op, no crash
+}
+
+TEST(MetricsRegistry, ObservabilityScopeConventions) {
+  Observability obs;
+  obs.nf_scope("NF1").counter("a");
+  obs.core_scope("core0").counter("a");
+  obs.chain_scope("0").counter("a");
+  obs.global_scope().counter("a");
+  EXPECT_EQ(obs.metrics().size(), 4u);
+  EXPECT_NE(obs.metrics().find_counter("a", {{"nf", "NF1"}}), nullptr);
+  EXPECT_NE(obs.metrics().find_counter("a", {{"core", "core0"}}), nullptr);
+  EXPECT_NE(obs.metrics().find_counter("a", {{"chain", "0"}}), nullptr);
+  EXPECT_NE(obs.metrics().find_counter("a"), nullptr);
+  EXPECT_EQ(trace_of(nullptr), nullptr);
+  EXPECT_EQ(trace_of(&obs), nullptr);  // none attached yet
+  TraceRecorder rec;
+  obs.attach_trace(&rec);
+  EXPECT_EQ(trace_of(&obs), &rec);
+}
+
+TEST(MetricsRegistry, WriteJsonIsSortedAndStable) {
+  MetricsRegistry reg;
+  // Register intentionally out of order.
+  reg.counter("z.last").inc(1);
+  reg.counter("a.first", {{"nf", "NF2"}}).inc(2);
+  reg.counter("a.first", {{"nf", "NF1"}}).inc(3);
+  reg.gauge("m.middle").set(1.5);
+
+  std::ostringstream out;
+  reg.write_json(out);
+  const std::string json = out.str();
+
+  // Sorted by (name, labels): a.first/NF1 < a.first/NF2 < m.middle < z.last.
+  const auto p1 = json.find("NF1");
+  const auto p2 = json.find("NF2");
+  const auto p3 = json.find("m.middle");
+  const auto p4 = json.find("z.last");
+  ASSERT_NE(p1, std::string::npos);
+  ASSERT_NE(p2, std::string::npos);
+  ASSERT_NE(p3, std::string::npos);
+  ASSERT_NE(p4, std::string::npos);
+  EXPECT_LT(p1, p2);
+  EXPECT_LT(p2, p3);
+  EXPECT_LT(p3, p4);
+
+  // Byte-stable across exports.
+  std::ostringstream again;
+  reg.write_json(again);
+  EXPECT_EQ(json, again.str());
+
+  EXPECT_NE(json.find("\"type\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":3"), std::string::npos);
+}
+
+TEST(MetricsRegistry, HistogramJsonExportsQuantiles) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("svc", {{"nf", "NF1"}});
+  for (int i = 0; i < 100; ++i) h.record(250);
+  std::ostringstream out;
+  reg.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"type\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nfv::obs

@@ -1,0 +1,107 @@
+// TraceRecorder: event recording, the max_events cap, and the Chrome
+// trace_event JSON encoding.
+
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nfv::obs {
+namespace {
+
+TEST(TraceRecorder, RecordsInstantAndCounterEvents) {
+  TraceRecorder rec;
+  rec.instant(100, 0, "sched", "wakeup", {{"task", "NF1"}});
+  rec.counter(200, kManagerLane, "mgr", "cpu_shares", "NF1", 512);
+
+  ASSERT_EQ(rec.events().size(), 2u);
+  const TraceEvent& a = rec.events()[0];
+  EXPECT_EQ(a.ts, 100);
+  EXPECT_EQ(a.phase, 'i');
+  EXPECT_EQ(a.lane, 0u);
+  EXPECT_EQ(a.cat, "sched");
+  EXPECT_EQ(a.name, "wakeup");
+  ASSERT_EQ(a.args.size(), 1u);
+  EXPECT_EQ(a.args[0].first, "task");
+  EXPECT_EQ(a.args[0].second, "NF1");
+
+  const TraceEvent& b = rec.events()[1];
+  EXPECT_EQ(b.phase, 'C');
+  EXPECT_EQ(b.lane, kManagerLane);
+  ASSERT_EQ(b.num_args.size(), 1u);
+  EXPECT_EQ(b.num_args[0].first, "NF1");
+  EXPECT_EQ(b.num_args[0].second, 512);
+}
+
+TEST(TraceRecorder, CapCountsDroppedEvents) {
+  TraceRecorder::Config cfg;
+  cfg.max_events = 3;
+  TraceRecorder rec(cfg);
+  for (int i = 0; i < 10; ++i) rec.instant(i, 0, "c", "e");
+  EXPECT_EQ(rec.events().size(), 3u);
+  EXPECT_EQ(rec.dropped_events(), 7u);
+  // What *is* stored is the deterministic prefix.
+  EXPECT_EQ(rec.events()[2].ts, 2);
+  rec.clear();
+  EXPECT_TRUE(rec.events().empty());
+  EXPECT_EQ(rec.dropped_events(), 0u);
+}
+
+TEST(TraceRecorder, ChromeJsonEncoding) {
+  TraceRecorder::Config cfg;
+  cfg.cpu_hz = 2.6e9;  // 2600 cycles per microsecond
+  TraceRecorder rec(cfg);
+  rec.set_lane_name(0, "core0");
+  rec.set_lane_name(kBackpressureLane, "backpressure");
+  rec.instant(2600, 0, "sched", "ctx_switch", {{"from", "NF1"}, {"to", "NF2"}},
+              {{"cost_cycles", 3900}});
+  rec.counter(5200, kBackpressureLane, "bp", "qlen", "NF1", 42);
+
+  std::ostringstream out;
+  rec.write_chrome_json(out);
+  const std::string json = out.str();
+
+  // Document shell.
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\":0"), std::string::npos);
+
+  // Thread-name metadata precedes the first real event.
+  const auto meta = json.find("thread_name");
+  const auto first_event = json.find("ctx_switch");
+  ASSERT_NE(meta, std::string::npos);
+  ASSERT_NE(first_event, std::string::npos);
+  EXPECT_LT(meta, first_event);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"core0\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"backpressure\"}"),
+            std::string::npos);
+
+  // 2600 cycles at 2.6 GHz = 1 us.
+  EXPECT_NE(json.find("\"ts\":1,"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(
+      json.find("\"args\":{\"from\":\"NF1\",\"to\":\"NF2\",\"cost_cycles\":3900}"),
+      std::string::npos);
+  EXPECT_NE(json.find("\"tid\":901"), std::string::npos);
+
+  // Byte-stable across exports.
+  std::ostringstream again;
+  rec.write_chrome_json(again);
+  EXPECT_EQ(json, again.str());
+}
+
+TEST(TraceRecorder, JsonEscapesStrings) {
+  TraceRecorder rec;
+  rec.instant(0, 0, "cat", "quote\"back\\slash", {{"k", "line\nbreak"}});
+  std::ostringstream out;
+  rec.write_chrome_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("line\\nbreak"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nfv::obs

@@ -1,0 +1,173 @@
+// Model-based property/stress tests for pktio::Ring and pktio::MbufPool.
+//
+// A seeded nfv::Rng drives long random operation sequences against each
+// structure while a trivially-correct reference model (std::deque / a
+// borrowed-pointer set) runs alongside; every step cross-checks the
+// invariants the rest of the platform leans on — FIFO order, size/capacity
+// accounting, watermark tri-state feedback, conservation of descriptors,
+// and no double-free / no foreign-pointer leaks out of the pool.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pktio/mempool.hpp"
+#include "pktio/ring.hpp"
+
+namespace nfv::pktio {
+namespace {
+
+TEST(RingProperty, RandomOpsMatchDequeModel) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 0xdeadbeefULL}) {
+    Rng rng(seed);
+    // Random small capacity exercises the power-of-two rounding too.
+    const auto requested = static_cast<std::uint32_t>(rng.next_in(1, 200));
+    Ring ring(requested, /*high_watermark=*/0.80, /*low_watermark=*/0.60);
+    ASSERT_GE(ring.capacity(), requested);
+    ASSERT_EQ(ring.capacity() & (ring.capacity() - 1), 0u)
+        << "capacity must round to a power of two";
+
+    std::vector<Mbuf> storage(ring.capacity() + 8);
+    std::size_t next_mbuf = 0;
+    std::deque<Mbuf*> model;
+
+    for (int step = 0; step < 20'000; ++step) {
+      const std::uint64_t op = rng.next_below(3);
+      if (op == 0) {  // enqueue
+        Mbuf* m = &storage[next_mbuf % storage.size()];
+        const EnqueueResult result = ring.enqueue(m);
+        if (model.size() == ring.capacity()) {
+          EXPECT_EQ(result, EnqueueResult::kFull);
+        } else {
+          // Tri-state feedback: the return value must reflect the
+          // post-enqueue length against the high watermark (§3.5).
+          model.push_back(m);
+          ++next_mbuf;
+          if (model.size() >= ring.high_watermark()) {
+            EXPECT_EQ(result, EnqueueResult::kOkOverloaded);
+          } else {
+            EXPECT_EQ(result, EnqueueResult::kOk);
+          }
+        }
+      } else if (op == 1) {  // dequeue one
+        Mbuf* got = ring.dequeue();
+        if (model.empty()) {
+          EXPECT_EQ(got, nullptr);
+        } else {
+          EXPECT_EQ(got, model.front()) << "FIFO order violated";
+          model.pop_front();
+        }
+      } else {  // dequeue a burst
+        Mbuf* burst[16];
+        const auto want = static_cast<std::size_t>(rng.next_in(1, 16));
+        const std::size_t n = ring.dequeue_burst(burst, want);
+        EXPECT_EQ(n, std::min(want, model.size()));
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(burst[i], model.front());
+          model.pop_front();
+        }
+      }
+
+      ASSERT_EQ(ring.size(), model.size());
+      ASSERT_EQ(ring.empty(), model.empty());
+      ASSERT_EQ(ring.full(), model.size() == ring.capacity());
+      ASSERT_EQ(ring.above_high_watermark(),
+                model.size() >= ring.high_watermark());
+      ASSERT_EQ(ring.below_low_watermark(),
+                model.size() < ring.low_watermark());
+      ASSERT_EQ(ring.total_enqueued() - ring.total_dequeued(), model.size())
+          << "descriptor conservation violated";
+    }
+  }
+}
+
+TEST(RingProperty, WraparoundPreservesFifoOrder) {
+  // Force the head/tail indices around the ring many times with a mix of
+  // bursts so the mask arithmetic is exercised at every offset.
+  Ring ring(8);
+  std::vector<Mbuf> storage(8);
+  Rng rng(0x5eed);
+  std::deque<Mbuf*> model;
+  for (int round = 0; round < 1000; ++round) {
+    const auto n_in = static_cast<std::size_t>(rng.next_in(1, 8));
+    for (std::size_t i = 0; i < n_in; ++i) {
+      Mbuf* m = &storage[rng.next_below(storage.size())];
+      if (ring.enqueue(m) != EnqueueResult::kFull) model.push_back(m);
+    }
+    const auto n_out = static_cast<std::size_t>(rng.next_in(1, 8));
+    for (std::size_t i = 0; i < n_out; ++i) {
+      Mbuf* got = ring.dequeue();
+      if (model.empty()) {
+        ASSERT_EQ(got, nullptr);
+      } else {
+        ASSERT_EQ(got, model.front());
+        model.pop_front();
+      }
+    }
+  }
+}
+
+TEST(MempoolProperty, RandomAllocFreeNeverLosesOrDuplicatesBuffers) {
+  for (const std::uint64_t seed : {3ULL, 0xabcULL}) {
+    Rng rng(seed);
+    MbufPool pool(64);
+    std::set<Mbuf*> borrowed;  // the model: exactly what we hold
+    std::uint64_t expected_failures = 0;
+
+    for (int step = 0; step < 50'000; ++step) {
+      if (rng.next_below(2) == 0) {  // alloc
+        Mbuf* m = pool.alloc();
+        if (borrowed.size() == pool.capacity()) {
+          EXPECT_EQ(m, nullptr) << "pool over-allocated past capacity";
+          ++expected_failures;
+        } else {
+          ASSERT_NE(m, nullptr);
+          // A buffer handed out twice while still borrowed would corrupt
+          // two packets at once — the double-free's mirror image.
+          const bool fresh = borrowed.insert(m).second;
+          ASSERT_TRUE(fresh) << "pool returned a buffer already in use";
+        }
+      } else if (!borrowed.empty()) {  // free a random borrowed buffer
+        auto it = borrowed.begin();
+        std::advance(it, static_cast<long>(rng.next_below(borrowed.size())));
+        pool.free(*it);
+        borrowed.erase(it);
+      }
+      ASSERT_EQ(pool.in_use(), borrowed.size());
+      ASSERT_EQ(pool.alloc_failures(), expected_failures);
+    }
+
+    // Drain: everything we borrowed goes back exactly once.
+    for (Mbuf* m : borrowed) pool.free(m);
+    EXPECT_EQ(pool.in_use(), 0u);
+  }
+}
+
+TEST(MempoolProperty, ExhaustAndRecoverFullCycle) {
+  MbufPool pool(16);
+  std::vector<Mbuf*> all;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    Mbuf* m = pool.alloc();
+    ASSERT_NE(m, nullptr);
+    all.push_back(m);
+  }
+  // All 16 are distinct buffers.
+  std::set<Mbuf*> unique(all.begin(), all.end());
+  EXPECT_EQ(unique.size(), 16u);
+  EXPECT_EQ(pool.alloc(), nullptr);
+  EXPECT_EQ(pool.in_use(), 16u);
+
+  pool.free(all.back());
+  all.pop_back();
+  Mbuf* again = pool.alloc();
+  ASSERT_NE(again, nullptr);
+  all.push_back(again);
+  for (Mbuf* m : all) pool.free(m);
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace nfv::pktio
