@@ -61,27 +61,43 @@ int main() {
   std::printf("Estimator/actuation ablations (two NFs 400/1200 cycles, "
               "4+4 Mpps, one core; CPU-ratio target 3.0)\n");
   const double secs = seconds(0.6);
+  const std::uint32_t everies[] = {1u, 5u, 10u, 50u, 100u};
+  const double sample_periods[] = {0.1, 0.5, 1.0, 5.0, 20.0};
+  const std::uint32_t batches[] = {1u, 8u, 32u, 128u};
 
+  ParallelRunner<AblationResult> runner;
+  for (const std::uint32_t every : everies) {
+    runner.submit([every, secs] { return run(every, 1.0, 32, secs); });
+  }
+  for (const double sample_ms : sample_periods) {
+    runner.submit([sample_ms, secs] { return run(10, sample_ms, 32, secs); });
+  }
+  for (const std::uint32_t batch : batches) {
+    runner.submit([batch, secs] { return run(10, 1.0, batch, secs); });
+  }
+  const auto results = runner.run();
+
+  std::size_t idx = 0;
   print_title("cgroup update period (monitor ticks of 1 ms per write)");
   print_row({"Period", "Mpps", "cpu ratio", "cgroup writes"});
-  for (std::uint32_t every : {1u, 5u, 10u, 50u, 100u}) {
-    const auto r = run(every, 1.0, 32, secs);
+  for (const std::uint32_t every : everies) {
+    const auto& r = results[idx++];
     print_row({fmt("%.0f ms", every), fmt("%.2f", r.total_mpps),
                fmt("%.2f", r.cpu_ratio), fmt_count(r.cgroup_writes)});
   }
 
   print_title("cost-sampling period (libnf rdtsc sampling; paper ~1 kHz)");
   print_row({"Sample period", "Mpps", "cpu ratio", ""});
-  for (double sample_ms : {0.1, 0.5, 1.0, 5.0, 20.0}) {
-    const auto r = run(10, sample_ms, 32, secs);
+  for (const double sample_ms : sample_periods) {
+    const auto& r = results[idx++];
     print_row({fmt("%.1f ms", sample_ms), fmt("%.2f", r.total_mpps),
                fmt("%.2f", r.cpu_ratio), ""});
   }
 
   print_title("NF batch size (yield-flag granularity)");
   print_row({"Batch", "Mpps", "cpu ratio", ""});
-  for (std::uint32_t batch : {1u, 8u, 32u, 128u}) {
-    const auto r = run(10, 1.0, batch, secs);
+  for (const std::uint32_t batch : batches) {
+    const auto& r = results[idx++];
     print_row({fmt("%.0f", batch), fmt("%.2f", r.total_mpps),
                fmt("%.2f", r.cpu_ratio), ""});
   }

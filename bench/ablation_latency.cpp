@@ -45,9 +45,18 @@ int main() {
   print_title("End-to-end latency quantiles (us)");
   print_row({"Offered", "mode", "p50", "p99", "max", "egress Mpps"});
   const double secs = seconds(0.25);
-  for (double rate : {1e6, 2e6, 4e6, 8e6}) {
+  const double rates[] = {1e6, 2e6, 4e6, 8e6};
+  ParallelRunner<LatencyRow> runner;
+  for (const double rate : rates) {
     for (const Mode& mode : kDefaultVsNfvnice) {
-      const auto row = run(mode, rate, secs);
+      runner.submit([&mode, rate, secs] { return run(mode, rate, secs); });
+    }
+  }
+  const auto results = runner.run();
+  std::size_t idx = 0;
+  for (const double rate : rates) {
+    for (const Mode& mode : kDefaultVsNfvnice) {
+      const auto& row = results[idx++];
       print_row({fmt("%.0f Mpps", rate / 1e6), mode.name,
                  fmt("%.0f", row.p50_us), fmt("%.0f", row.p99_us),
                  fmt("%.0f", row.max_us), fmt("%.2f", row.egress_mpps)});

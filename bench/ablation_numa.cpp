@@ -38,9 +38,18 @@ int main() {
   print_title("Chain throughput (Mpps): same socket vs alternating sockets");
   print_row({"Penalty (cyc)", "same-socket", "alternating", "loss"});
   const double secs = seconds(0.2);
-  for (Cycles penalty : {0, 150, 300, 600, 1200}) {
-    const double local = run(false, penalty, secs);
-    const double remote = run(true, penalty, secs);
+  const Cycles penalties[] = {0, 150, 300, 600, 1200};
+  ParallelRunner<double> runner;
+  for (const Cycles penalty : penalties) {
+    runner.submit([penalty, secs] { return run(false, penalty, secs); });
+    runner.submit([penalty, secs] { return run(true, penalty, secs); });
+  }
+  const auto results = runner.run();
+  std::size_t idx = 0;
+  for (const Cycles penalty : penalties) {
+    const double local = results[idx];
+    const double remote = results[idx + 1];
+    idx += 2;
     print_row({fmt("%.0f", static_cast<double>(penalty)), fmt("%.2f", local),
                fmt("%.2f", remote),
                fmt("%.0f%%", (1.0 - remote / local) * 100.0)});

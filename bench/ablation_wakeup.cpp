@@ -60,8 +60,15 @@ int main() {
   print_title("Throughput vs context switches vs latency");
   print_row({"min_pending", "egress Mpps", "cswitch/s", "p50 latency us"});
   const double secs = seconds(0.3);
-  for (std::uint32_t pending : {1u, 4u, 16u, 64u, 256u}) {
-    const auto r = run(pending, secs);
+  const std::uint32_t pendings[] = {1u, 4u, 16u, 64u, 256u};
+  ParallelRunner<WakeResult> runner;
+  for (const std::uint32_t pending : pendings) {
+    runner.submit([pending, secs] { return run(pending, secs); });
+  }
+  const auto results = runner.run();
+  std::size_t idx = 0;
+  for (const std::uint32_t pending : pendings) {
+    const auto& r = results[idx++];
     print_row({fmt("%.0f", pending), fmt("%.2f", r.egress_mpps),
                fmt_count(static_cast<std::uint64_t>(r.switches_per_sec)),
                fmt("%.0f", r.p50_latency_us)});

@@ -45,19 +45,31 @@ int main() {
   std::printf("Watermark tuning (Low-Med-High chain, one core, 6 Mpps; "
               "per %.2fs run)\n", seconds(0.2));
   const double secs = seconds(0.2);
+  const double highs[] = {0.50, 0.60, 0.70, 0.80, 0.90, 0.95};
+  const double margins[] = {0.01, 0.05, 0.10, 0.20, 0.30, 0.40};
 
+  ParallelRunner<WmResult> runner;
+  for (const double high : highs) {
+    runner.submit([high, secs] { return run(high, high - 0.20, secs); });
+  }
+  for (const double margin : margins) {
+    runner.submit([margin, secs] { return run(0.80, 0.80 - margin, secs); });
+  }
+  const auto results = runner.run();
+
+  std::size_t idx = 0;
   print_title("Sweep HIGH watermark, margin fixed at 20 points");
   print_row({"HIGH", "egress Mpps", "wasted drops", "throttle entries"});
-  for (double high : {0.50, 0.60, 0.70, 0.80, 0.90, 0.95}) {
-    const auto r = run(high, high - 0.20, secs);
+  for (const double high : highs) {
+    const auto& r = results[idx++];
     print_row({fmt("%.0f%%", high * 100), fmt("%.2f", r.egress_mpps),
                fmt_count(r.wasted), fmt_count(r.throttle_entries)});
   }
 
   print_title("Sweep margin, HIGH fixed at 80%");
   print_row({"Margin", "egress Mpps", "wasted drops", "throttle entries"});
-  for (double margin : {0.01, 0.05, 0.10, 0.20, 0.30, 0.40}) {
-    const auto r = run(0.80, 0.80 - margin, secs);
+  for (const double margin : margins) {
+    const auto& r = results[idx++];
     print_row({fmt("%.0f pts", margin * 100), fmt("%.2f", r.egress_mpps),
                fmt_count(r.wasted), fmt_count(r.throttle_entries)});
   }

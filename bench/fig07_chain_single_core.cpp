@@ -15,14 +15,13 @@ int main(int argc, char** argv) {
   spec.rate_pps = 6e6;
   spec.secs = seconds(0.25);
 
-  if (json_mode(argc, argv)) {
+  const bool json = json_mode(argc, argv);
+  const auto rows = run_grid(kAllScheds, kAllModes, spec, json);
+
+  if (json) {
     JsonReport report("fig07_chain_single_core");
-    for (const Sched& sched : kAllScheds) {
-      for (const Mode& mode : kAllModes) {
-        std::string sim_report;
-        const auto result = run_chain(mode, sched, spec, &sim_report);
-        report.add_row(mode, sched, result, sim_report);
-      }
+    for (const GridRow& row : rows) {
+      report.add_row(*row.mode, *row.sched, row.result, row.report);
     }
     report.finish();
     return 0;
@@ -33,11 +32,11 @@ int main(int argc, char** argv) {
   print_title("Chain throughput (Mpps)");
   print_row({"Scheduler", "Default", "CGroup", "OnlyBKPR", "NFVnice"});
 
+  std::size_t idx = 0;
   for (const Sched& sched : kAllScheds) {
     std::vector<std::string> cells{sched.name};
-    for (const Mode& mode : kAllModes) {
-      const auto result = run_chain(mode, sched, spec);
-      cells.push_back(fmt("%.2f", result.egress_mpps));
+    for (std::size_t m = 0; m < std::size(kAllModes); ++m) {
+      cells.push_back(fmt("%.2f", rows[idx++].result.egress_mpps));
     }
     print_row(cells);
   }

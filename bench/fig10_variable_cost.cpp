@@ -23,11 +23,12 @@ int main() {
   spec.rate_pps = 6e6;
   spec.secs = seconds(0.25);
 
+  const auto rows = run_grid(kAllScheds, kAllModes, spec);
+  std::size_t idx = 0;
   for (const Sched& sched : kAllScheds) {
     std::vector<std::string> cells{sched.name};
-    for (const Mode& mode : kAllModes) {
-      const auto result = run_chain(mode, sched, spec);
-      cells.push_back(fmt("%.2f", result.egress_mpps));
+    for (std::size_t m = 0; m < std::size(kAllModes); ++m) {
+      cells.push_back(fmt("%.2f", rows[idx++].result.egress_mpps));
     }
     print_row(cells);
   }

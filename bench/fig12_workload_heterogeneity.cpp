@@ -49,12 +49,25 @@ int main() {
   print_row({"Scheduler/Mode", "Type1", "Type2", "Type3", "Type4", "Type5",
              "Type6"});
   const double secs = seconds(0.2);
+  ParallelRunner<double> runner;
+  for (const Sched& sched : kAllScheds) {
+    for (const Mode& mode : kDefaultVsNfvnice) {
+      for (int flows = 1; flows <= 6; ++flows) {
+        runner.submit([&mode, &sched, flows, secs] {
+          return run_type(mode, sched, flows, secs);
+        });
+      }
+    }
+  }
+  const auto results = runner.run();
+
+  std::size_t idx = 0;
   for (const Sched& sched : kAllScheds) {
     for (const Mode& mode : kDefaultVsNfvnice) {
       std::vector<std::string> cells{std::string(sched.name) + "/" +
                                      mode.name};
       for (int flows = 1; flows <= 6; ++flows) {
-        cells.push_back(fmt("%.2f", run_type(mode, sched, flows, secs)));
+        cells.push_back(fmt("%.2f", results[idx++]));
       }
       print_row(cells);
     }

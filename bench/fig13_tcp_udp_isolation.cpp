@@ -15,7 +15,7 @@ using namespace bench;
 
 namespace {
 
-void run_timeline(const Mode& mode) {
+std::vector<std::vector<std::string>> run_timeline(const Mode& mode) {
   // Compressed timeline: 0-1 s TCP alone, 1-3 s +UDP, 3-4.5 s TCP alone.
   Simulation sim(make_config(mode));
   const auto shared = sim.add_core(SchedPolicy::kCfsBatch, 100.0);
@@ -36,9 +36,7 @@ void run_timeline(const Mode& mode) {
     udp_flows.push_back(sim.add_udp_flow(udp_chain, 5e5, opts));
   }
 
-  print_title(std::string("Mode: ") + mode.name +
-              "  (UDP active during [1s, 3s))");
-  print_row({"t (s)", "TCP Gbps", "UDP Mbps", "TCP cwnd"});
+  std::vector<std::vector<std::string>> rows;
   std::uint64_t tcp_bytes_prev = 0, udp_bytes_prev = 0;
   const double step = seconds(0.25);
   for (int i = 1; i <= 18; ++i) {
@@ -54,9 +52,10 @@ void run_timeline(const Mode& mode) {
         static_cast<double>(udp_bytes - udp_bytes_prev) * 8 / step / 1e6;
     tcp_bytes_prev = tc.egress_bytes;
     udp_bytes_prev = udp_bytes;
-    print_row({fmt("%.2f", sim.now_seconds()), fmt("%.3f", tcp_gbps),
-               fmt("%.1f", udp_mbps), fmt("%.0f", tcp_src->cwnd())});
+    rows.push_back({fmt("%.2f", sim.now_seconds()), fmt("%.3f", tcp_gbps),
+                    fmt("%.1f", udp_mbps), fmt("%.0f", tcp_src->cwnd())});
   }
+  return rows;
 }
 
 }  // namespace
@@ -66,7 +65,16 @@ int main() {
               "timeline; paper runs 55 s)\n");
   std::printf("UDP bottleneck: NF3 capacity 2.6e9/30000 = 86.7 Kpps of 512 B "
               "= ~355 Mbps egress (paper: 280 Mbps)\n");
-  run_timeline(kModeDefault);
-  run_timeline(kModeNfvnice);
+  ParallelRunner<std::vector<std::vector<std::string>>> runner;
+  for (const Mode& mode : kDefaultVsNfvnice) {
+    runner.submit([&mode] { return run_timeline(mode); });
+  }
+  const auto timelines = runner.run();
+  for (std::size_t m = 0; m < timelines.size(); ++m) {
+    print_title(std::string("Mode: ") + kDefaultVsNfvnice[m].name +
+                "  (UDP active during [1s, 3s))");
+    print_row({"t (s)", "TCP Gbps", "UDP Mbps", "TCP cwnd"});
+    for (const auto& row : timelines[m]) print_row(row);
+  }
   return 0;
 }

@@ -45,6 +45,7 @@ IoResult run(bool async_io, std::uint16_t pkt_size, double secs) {
   const auto f1 = sim.add_udp_flow(chain1, rate, opts);
   const auto f2 = sim.add_udp_flow(chain2, rate, opts);
   (void)f1;
+  (void)f2;
   sim.run_for_seconds(secs);
 
   IoResult out;
@@ -63,9 +64,19 @@ int main() {
   print_title("Aggregate / flow-2 throughput (Mpps)");
   print_row({"Packet size", "sync agg", "sync f2", "async agg", "async f2"});
   const double secs = seconds(0.25);
-  for (std::uint16_t size : {64, 128, 256, 512, 1024}) {
-    const auto sync_result = run(false, size, secs);
-    const auto async_result = run(true, size, secs);
+  const std::uint16_t sizes[] = {64, 128, 256, 512, 1024};
+  ParallelRunner<IoResult> runner;
+  for (const std::uint16_t size : sizes) {
+    runner.submit([size, secs] { return run(false, size, secs); });
+    runner.submit([size, secs] { return run(true, size, secs); });
+  }
+  const auto results = runner.run();
+
+  std::size_t idx = 0;
+  for (const std::uint16_t size : sizes) {
+    const IoResult& sync_result = results[idx];
+    const IoResult& async_result = results[idx + 1];
+    idx += 2;
     print_row({fmt("%.0f B", size), fmt("%.2f", sync_result.aggregate_mpps),
                fmt("%.2f", sync_result.flow2_mpps),
                fmt("%.2f", async_result.aggregate_mpps),

@@ -14,7 +14,7 @@ using namespace bench;
 
 namespace {
 
-void run_mode(const Mode& mode) {
+std::vector<std::vector<std::string>> run_mode(const Mode& mode) {
   Simulation sim(make_config(mode));
   const auto core_id = sim.add_core(SchedPolicy::kCfsNormal, 100.0);
   const auto nf1 = sim.add_nf("NF1", core_id, nfv::nf::CostModel::fixed(400));
@@ -24,11 +24,7 @@ void run_mode(const Mode& mode) {
   sim.add_udp_flow(c1, 4e6);
   sim.add_udp_flow(c2, 4e6);
 
-  print_title(std::string("Mode: ") + mode.name +
-              "  (NF1 cost x3 during [1s, 2s))");
-  print_row({"t (s)", "NF1 cpu%", "NF2 cpu%", "flow1 Mpps", "flow2 Mpps",
-             "w1", "w2"});
-
+  std::vector<std::vector<std::string>> rows;
   const double step = seconds(0.25);
   Cycles run1_prev = 0, run2_prev = 0;
   std::uint64_t eg1_prev = 0, eg2_prev = 0;
@@ -42,16 +38,18 @@ void run_mode(const Mode& mode) {
     const auto e2 = sim.chain_metrics(c2).egress_packets;
     const double cpu1 = sim.clock().to_seconds(m1.runtime - run1_prev) / step;
     const double cpu2 = sim.clock().to_seconds(m2.runtime - run2_prev) / step;
-    print_row({fmt("%.2f", sim.now_seconds()), fmt("%.0f%%", cpu1 * 100),
-               fmt("%.0f%%", cpu2 * 100), fmt("%.2f", mpps(e1 - eg1_prev, step)),
-               fmt("%.2f", mpps(e2 - eg2_prev, step)),
-               fmt("%.0f", sim.nf(nf1).weight()),
-               fmt("%.0f", sim.nf(nf2).weight())});
+    rows.push_back({fmt("%.2f", sim.now_seconds()), fmt("%.0f%%", cpu1 * 100),
+                    fmt("%.0f%%", cpu2 * 100),
+                    fmt("%.2f", mpps(e1 - eg1_prev, step)),
+                    fmt("%.2f", mpps(e2 - eg2_prev, step)),
+                    fmt("%.0f", sim.nf(nf1).weight()),
+                    fmt("%.0f", sim.nf(nf2).weight())});
     run1_prev = m1.runtime;
     run2_prev = m2.runtime;
     eg1_prev = e1;
     eg2_prev = e2;
   }
+  return rows;
 }
 
 }  // namespace
@@ -59,7 +57,17 @@ void run_mode(const Mode& mode) {
 int main() {
   std::printf("Figure 15a: dynamic CPU tuning under a step change in NF1's "
               "cost (compressed timeline; paper runs 90 s)\n");
-  run_mode(kModeDefault);
-  run_mode(kModeNfvnice);
+  ParallelRunner<std::vector<std::vector<std::string>>> runner;
+  for (const Mode& mode : kDefaultVsNfvnice) {
+    runner.submit([&mode] { return run_mode(mode); });
+  }
+  const auto timelines = runner.run();
+  for (std::size_t m = 0; m < timelines.size(); ++m) {
+    print_title(std::string("Mode: ") + kDefaultVsNfvnice[m].name +
+                "  (NF1 cost x3 during [1s, 2s))");
+    print_row({"t (s)", "NF1 cpu%", "NF2 cpu%", "flow1 Mpps", "flow2 Mpps",
+               "w1", "w2"});
+    for (const auto& row : timelines[m]) print_row(row);
+  }
   return 0;
 }

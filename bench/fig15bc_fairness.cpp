@@ -69,16 +69,19 @@ int main() {
   print_title("Fig 15b: Jain's fairness index of per-flow throughput");
   print_row({"Diversity", "NORMAL (default)", "NFVnice"});
   const double secs = seconds(1.5);
-  DiversityResult dflt6{}, nice6{};
+  ParallelRunner<DiversityResult> runner;
   for (int k = 1; k <= 6; ++k) {
-    const auto dflt = run(kModeDefault, k, secs);
-    const auto nice = run(kModeNfvnice, k, secs);
-    print_row({fmt("%.0f", k), fmt("%.3f", dflt.jain), fmt("%.3f", nice.jain)});
-    if (k == 6) {
-      dflt6 = dflt;
-      nice6 = nice;
+    for (const Mode& mode : kDefaultVsNfvnice) {
+      runner.submit([&mode, k, secs] { return run(mode, k, secs); });
     }
   }
+  const auto results = runner.run();
+  for (int k = 1; k <= 6; ++k) {
+    print_row({fmt("%.0f", k), fmt("%.3f", results[2 * (k - 1)].jain),
+               fmt("%.3f", results[2 * (k - 1) + 1].jain)});
+  }
+  const DiversityResult& dflt6 = results[10];
+  const DiversityResult& nice6 = results[11];
 
   print_title("Fig 15c: per-NF CPU share and flow throughput at diversity 6");
   print_row({"NF (cost)", "dflt cpu%", "dflt Mpps", "nfvnice cpu%",

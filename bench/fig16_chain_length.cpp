@@ -47,12 +47,23 @@ int main() {
   print_row({"Length", "SC Default", "SC NFVnice", "MC Default",
              "MC NFVnice"});
   const double secs = seconds(0.15);
+  ParallelRunner<double> runner;
   for (int len = 1; len <= 10; ++len) {
-    print_row({fmt("%.0f", len),
-               fmt("%.2f", run_len(kModeDefault, len, false, secs)),
-               fmt("%.2f", run_len(kModeNfvnice, len, false, secs)),
-               fmt("%.2f", run_len(kModeDefault, len, true, secs)),
-               fmt("%.2f", run_len(kModeNfvnice, len, true, secs))});
+    for (const bool multicore : {false, true}) {
+      for (const Mode& mode : kDefaultVsNfvnice) {
+        runner.submit([&mode, len, multicore, secs] {
+          return run_len(mode, len, multicore, secs);
+        });
+      }
+    }
+  }
+  const auto results = runner.run();
+  std::size_t idx = 0;
+  for (int len = 1; len <= 10; ++len) {
+    print_row({fmt("%.0f", len), fmt("%.2f", results[idx]),
+               fmt("%.2f", results[idx + 1]), fmt("%.2f", results[idx + 2]),
+               fmt("%.2f", results[idx + 3])});
+    idx += 4;
   }
   return 0;
 }

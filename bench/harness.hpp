@@ -9,10 +9,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "core/simulation.hpp"
 #include "obs/json.hpp"
 
@@ -148,6 +152,92 @@ inline ChainResult run_chain(const Mode& mode, const Sched& sched,
   }
   if (report_json != nullptr) *report_json = sim.report_json();
   return out;
+}
+
+/// Worker count for ParallelRunner: NFV_BENCH_WORKERS when set (>=1),
+/// otherwise the machine's hardware concurrency.
+inline std::size_t bench_workers() {
+  static const std::size_t n = [] {
+    if (const char* env = std::getenv("NFV_BENCH_WORKERS")) {
+      const long v = std::atol(env);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(hw > 0 ? hw : 1);
+  }();
+  return n;
+}
+
+/// Runs independent experiment configurations across a worker pool and
+/// hands the results back in submission order.
+///
+/// Each submitted job builds and runs its own Simulation, so runs share
+/// nothing; the determinism contract is that run() returns results ordered
+/// by submission index and all printing happens serially afterwards, which
+/// makes bench output (human tables and --json alike) byte-identical
+/// whatever NFV_BENCH_WORKERS is — parallelism only changes wall-clock.
+template <typename R>
+class ParallelRunner {
+ public:
+  ParallelRunner() : workers_(bench_workers()) {}
+  explicit ParallelRunner(std::size_t workers)
+      : workers_(workers > 0 ? workers : 1) {}
+
+  /// Queue one experiment; returns its index in run()'s result vector.
+  std::size_t submit(std::function<R()> job) {
+    jobs_.push_back(std::move(job));
+    return jobs_.size() - 1;
+  }
+
+  /// Execute every queued job (at most `workers` at a time) and return the
+  /// results in submission order. The runner is reusable afterwards.
+  std::vector<R> run() {
+    std::vector<R> results(jobs_.size());
+    {
+      nfv::common::ThreadPool pool(workers_);
+      for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        pool.submit([&results, &jobs = jobs_, i] { results[i] = jobs[i](); });
+      }
+      pool.wait_idle();
+    }
+    jobs_.clear();
+    return results;
+  }
+
+ private:
+  std::size_t workers_;
+  std::vector<std::function<R()>> jobs_;
+};
+
+/// One (mode, scheduler) cell of an experiment grid.
+struct GridRow {
+  const Mode* mode = nullptr;
+  const Sched* sched = nullptr;
+  ChainResult result;
+  std::string report;  ///< Simulation::report_json() when requested
+};
+
+/// Runs the (sched × mode) grid behind most tables/figures across the
+/// worker pool. Rows come back scheduler-major (the order the tables
+/// print: one row block per scheduler, one entry per mode), so printing
+/// them in sequence reproduces the serial output exactly.
+template <typename SchedRange, typename ModeRange>
+std::vector<GridRow> run_grid(const SchedRange& scheds, const ModeRange& modes,
+                              const ChainSpec& spec, bool with_report = false) {
+  ParallelRunner<GridRow> runner;
+  for (const Sched& sched : scheds) {
+    for (const Mode& mode : modes) {
+      runner.submit([&mode, &sched, spec, with_report] {
+        GridRow row;
+        row.mode = &mode;
+        row.sched = &sched;
+        row.result = run_chain(mode, sched, spec,
+                               with_report ? &row.report : nullptr);
+        return row;
+      });
+    }
+  }
+  return runner.run();
 }
 
 /// True when the bench binary was invoked with --json: emit one

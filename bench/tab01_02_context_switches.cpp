@@ -14,34 +14,35 @@ using namespace bench;
 
 namespace {
 
-void run_case(const char* title, const std::vector<Cycles>& costs,
-              const std::vector<double>& rates_mpps) {
-  print_title(title);
-  print_row({"Scheduler", "NF1 cs/s", "NF1 nvcs/s", "NF2 cs/s", "NF2 nvcs/s",
-             "NF3 cs/s", "NF3 nvcs/s"});
-  const double secs = seconds(0.5);
-  for (const Sched& sched : {kNormal, kBatch, kRr100}) {
-    Simulation sim(make_config(kModeDefault));
-    const auto core_id = sim.add_core(sched.policy, sched.rr_quantum_ms);
-    std::vector<nfv::flow::NfId> nfs;
-    for (std::size_t i = 0; i < costs.size(); ++i) {
-      nfs.push_back(sim.add_nf("NF" + std::to_string(i + 1), core_id,
-                               nfv::nf::CostModel::fixed(costs[i])));
-      const auto chain =
-          sim.add_chain("c" + std::to_string(i), {nfs.back()});
-      sim.add_udp_flow(chain, rates_mpps[i] * 1e6);
-    }
-    sim.run_for_seconds(secs);
-    std::vector<std::string> cells{sched.name};
-    for (const auto nf : nfs) {
-      const auto m = sim.nf_metrics(nf);
-      cells.push_back(
-          fmt("%.0f", static_cast<double>(m.voluntary_switches) / secs));
-      cells.push_back(
-          fmt("%.0f", static_cast<double>(m.involuntary_switches) / secs));
-    }
-    print_row(cells);
+struct Case {
+  const char* title;
+  std::vector<Cycles> costs;
+  std::vector<double> rates_mpps;
+};
+
+std::vector<std::string> run_one(const Sched& sched,
+                                 const std::vector<Cycles>& costs,
+                                 const std::vector<double>& rates_mpps,
+                                 double secs) {
+  Simulation sim(make_config(kModeDefault));
+  const auto core_id = sim.add_core(sched.policy, sched.rr_quantum_ms);
+  std::vector<nfv::flow::NfId> nfs;
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    nfs.push_back(sim.add_nf("NF" + std::to_string(i + 1), core_id,
+                             nfv::nf::CostModel::fixed(costs[i])));
+    const auto chain = sim.add_chain("c" + std::to_string(i), {nfs.back()});
+    sim.add_udp_flow(chain, rates_mpps[i] * 1e6);
   }
+  sim.run_for_seconds(secs);
+  std::vector<std::string> cells{sched.name};
+  for (const auto nf : nfs) {
+    const auto m = sim.nf_metrics(nf);
+    cells.push_back(
+        fmt("%.0f", static_cast<double>(m.voluntary_switches) / secs));
+    cells.push_back(
+        fmt("%.0f", static_cast<double>(m.involuntary_switches) / secs));
+  }
+  return cells;
 }
 
 }  // namespace
@@ -49,13 +50,41 @@ void run_case(const char* title, const std::vector<Cycles>& costs,
 int main() {
   std::printf("Tables 1-2: context switches per second (3 NFs on one core, "
               "no NFVnice)\n");
-  run_case("Table 1: homogeneous (250 cyc), even load 5/5/5 Mpps",
-           {250, 250, 250}, {5, 5, 5});
-  run_case("Table 1: homogeneous (250 cyc), uneven load 6/6/3 Mpps",
-           {250, 250, 250}, {6, 6, 3});
-  run_case("Table 2: heterogeneous (500/250/50 cyc), even load 5/5/5",
-           {500, 250, 50}, {5, 5, 5});
-  run_case("Table 2: heterogeneous (500/250/50 cyc), uneven load 6/6/3",
-           {500, 250, 50}, {6, 6, 3});
+  const Case cases[] = {
+      {"Table 1: homogeneous (250 cyc), even load 5/5/5 Mpps",
+       {250, 250, 250},
+       {5, 5, 5}},
+      {"Table 1: homogeneous (250 cyc), uneven load 6/6/3 Mpps",
+       {250, 250, 250},
+       {6, 6, 3}},
+      {"Table 2: heterogeneous (500/250/50 cyc), even load 5/5/5",
+       {500, 250, 50},
+       {5, 5, 5}},
+      {"Table 2: heterogeneous (500/250/50 cyc), uneven load 6/6/3",
+       {500, 250, 50},
+       {6, 6, 3}},
+  };
+  const Sched scheds[] = {kNormal, kBatch, kRr100};
+  const double secs = seconds(0.5);
+
+  ParallelRunner<std::vector<std::string>> runner;
+  for (const Case& c : cases) {
+    for (const Sched& sched : scheds) {
+      runner.submit([&sched, &c, secs] {
+        return run_one(sched, c.costs, c.rates_mpps, secs);
+      });
+    }
+  }
+  const auto rows = runner.run();
+
+  std::size_t idx = 0;
+  for (const Case& c : cases) {
+    print_title(c.title);
+    print_row({"Scheduler", "NF1 cs/s", "NF1 nvcs/s", "NF2 cs/s", "NF2 nvcs/s",
+               "NF3 cs/s", "NF3 nvcs/s"});
+    for (std::size_t s = 0; s < std::size(scheds); ++s) {
+      print_row(rows[idx++]);
+    }
+  }
   return 0;
 }

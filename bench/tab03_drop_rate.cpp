@@ -16,14 +16,13 @@ int main(int argc, char** argv) {
   spec.rate_pps = 6e6;
   spec.secs = seconds(0.25);
 
-  if (json_mode(argc, argv)) {
+  const bool json = json_mode(argc, argv);
+  const auto rows = run_grid(kAllScheds, kDefaultVsNfvnice, spec, json);
+
+  if (json) {
     JsonReport report("tab03_drop_rate");
-    for (const Sched& sched : kAllScheds) {
-      for (const Mode* mode : {&kModeDefault, &kModeNfvnice}) {
-        std::string sim_report;
-        const auto result = run_chain(*mode, sched, spec, &sim_report);
-        report.add_row(*mode, sched, result, sim_report);
-      }
+    for (const GridRow& row : rows) {
+      report.add_row(*row.mode, *row.sched, row.result, row.report);
     }
     report.finish();
     return 0;
@@ -37,9 +36,11 @@ int main(int argc, char** argv) {
   print_row({"Scheduler", "NF1 dflt", "NF1 nfvnice", "NF2 dflt",
              "NF2 nfvnice", "entry drops"});
 
+  std::size_t idx = 0;
   for (const Sched& sched : kAllScheds) {
-    const auto dflt = run_chain(kModeDefault, sched, spec);
-    const auto nice = run_chain(kModeNfvnice, sched, spec);
+    const ChainResult& dflt = rows[idx].result;
+    const ChainResult& nice = rows[idx + 1].result;
+    idx += 2;
     print_row({sched.name, fmt_count(static_cast<std::uint64_t>(
                                dflt.wasted_by_pps[0])),
                fmt_count(static_cast<std::uint64_t>(nice.wasted_by_pps[0])),

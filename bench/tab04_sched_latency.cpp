@@ -19,12 +19,15 @@ int main() {
   spec.rate_pps = 6e6;
   spec.secs = seconds(0.25);
 
+  const auto rows = run_grid(kAllScheds, kDefaultVsNfvnice, spec);
+
+  std::size_t idx = 0;
   for (const Sched& sched : kAllScheds) {
     print_title(std::string("Scheduler: ") + sched.name);
     print_row({"", "NF1 delay", "NF1 run", "NF2 delay", "NF2 run",
                "NF3 delay", "NF3 run"});
     for (const Mode& mode : kDefaultVsNfvnice) {
-      const auto r = run_chain(mode, sched, spec);
+      const ChainResult& r = rows[idx++].result;
       print_row({mode.name, fmt("%.3f", r.avg_sched_latency_ms[0]),
                  fmt("%.1f", r.runtime_ms[0]),
                  fmt("%.3f", r.avg_sched_latency_ms[1]),

@@ -25,8 +25,12 @@ int main() {
   spec.secs = seconds(0.3);
   spec.multicore = true;
 
-  const auto dflt = run_chain(kModeDefault, kNormal, spec);
-  const auto nice = run_chain(kModeNfvnice, kNormal, spec);
+  ParallelRunner<ChainResult> runner;
+  runner.submit([&spec] { return run_chain(kModeDefault, kNormal, spec); });
+  runner.submit([&spec] { return run_chain(kModeNfvnice, kNormal, spec); });
+  const auto results = runner.run();
+  const ChainResult& dflt = results[0];
+  const ChainResult& nice = results[1];
   for (std::size_t i = 0; i < spec.costs.size(); ++i) {
     print_row({"NF" + std::to_string(i + 1) + " (" +
                    std::to_string(spec.costs[i]) + "cyc)",

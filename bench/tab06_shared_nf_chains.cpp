@@ -54,8 +54,12 @@ int main() {
   std::printf("Table 6 / Figs 8-9: two chains sharing NF1 & NF4 across 4 "
               "cores, 7.44+7.44 Mpps offered\n");
   const double secs = seconds(0.3);
-  const auto dflt = run(kModeDefault, secs);
-  const auto nice = run(kModeNfvnice, secs);
+  ParallelRunner<TwoChainResult> runner;
+  runner.submit([secs] { return run(kModeDefault, secs); });
+  runner.submit([secs] { return run(kModeNfvnice, secs); });
+  const auto results = runner.run();
+  const TwoChainResult& dflt = results[0];
+  const TwoChainResult& nice = results[1];
 
   print_title("Per-NF service rate, RX-drop rate, CPU");
   print_row({"", "Default svc", "drops/s", "cpu%", "NFVnice svc", "drops/s",

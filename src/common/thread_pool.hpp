@@ -1,0 +1,51 @@
+// Fixed-size worker pool for running independent jobs concurrently.
+//
+// Built for the bench suite's experiment runner: each job is one complete
+// seed-deterministic Simulation run, so jobs never touch shared state and
+// the pool needs no more than FIFO dispatch plus an idle barrier. Jobs must
+// not throw — an escaping exception terminates the process.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nfv::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (clamped to at least one).
+  explicit ThreadPool(std::size_t workers);
+
+  /// Drains outstanding jobs, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Queue a job for execution. Jobs start in submission order (completion
+  /// order depends on their runtimes).
+  void submit(std::function<void()> job);
+
+  /// Block until every submitted job has finished.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< job queued or shutdown requested
+  std::condition_variable idle_cv_;  ///< a job finished
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;  ///< jobs currently executing
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace nfv::common

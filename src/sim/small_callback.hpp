@@ -1,0 +1,134 @@
+// Small-buffer-optimized event callback for the discrete-event engine.
+//
+// The engine schedules millions of `void()` callbacks per simulated second,
+// and nearly all of them are tiny lambdas capturing a `this` pointer and at
+// most a couple of words. std::function heap-allocates and carries copy
+// machinery we never use; this type stores callables up to kInlineSize bytes
+// in place (larger ones fall back to one heap allocation), is move-only, and
+// relocates with a single indirect call — exactly what a pooled event slot
+// needs when a callback is moved out for dispatch.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace nfv::sim {
+
+namespace detail {
+
+struct CallbackVTable {
+  void (*invoke)(void* storage);
+  /// Move-construct the callable into `dst` from `src`, then destroy `src`.
+  void (*relocate)(void* dst, void* src);
+  void (*destroy)(void* storage);  ///< null when destruction is a no-op
+};
+
+template <typename F>
+F* stored(void* storage) {
+  return std::launder(reinterpret_cast<F*>(storage));
+}
+
+template <typename F>
+inline constexpr CallbackVTable kInlineCallbackVTable = {
+    [](void* s) { (*stored<F>(s))(); },
+    [](void* dst, void* src) {
+      F* from = stored<F>(src);
+      ::new (dst) F(std::move(*from));
+      from->~F();
+    },
+    // Null destroy marks "nothing to tear down": destruction of the common
+    // capture-a-pointer lambda costs no indirect call at all.
+    std::is_trivially_destructible_v<F>
+        ? nullptr
+        : +[](void* s) { stored<F>(s)->~F(); },
+};
+
+template <typename F>
+inline constexpr CallbackVTable kHeapCallbackVTable = {
+    [](void* s) { (**stored<F*>(s))(); },
+    [](void* dst, void* src) {
+      // The stored pointer is trivially destructible; relocation is a copy.
+      ::new (dst) F*(*stored<F*>(src));
+    },
+    [](void* s) { delete *stored<F*>(s); },
+};
+
+}  // namespace detail
+
+class SmallCallback {
+ public:
+  /// Inline capacity. Sized so a std::function (32 bytes on the common
+  /// ABIs) and every capture list in this codebase stays in place, while a
+  /// whole engine event slot (callback + timing metadata) still packs into
+  /// one 64-byte cache line.
+  static constexpr std::size_t kInlineSize = 40;
+
+  SmallCallback() = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallCallback> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  SmallCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  /// Construct a callable directly into the buffer, replacing any current
+  /// one. This is the engine's schedule path: the lambda is built in its
+  /// event slot at the call site, with no intermediate SmallCallback move.
+  template <typename F, typename D = std::decay_t<F>>
+  void emplace(F&& f) {
+    static_assert(std::is_invocable_r_v<void, D&>);
+    reset();
+    if constexpr (sizeof(D) <= kInlineSize &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vt_ = &detail::kInlineCallbackVTable<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      vt_ = &detail::kHeapCallbackVTable<D>;
+    }
+  }
+
+  SmallCallback(SmallCallback&& other) noexcept { move_from(other); }
+  SmallCallback& operator=(SmallCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  SmallCallback(const SmallCallback&) = delete;
+  SmallCallback& operator=(const SmallCallback&) = delete;
+
+  ~SmallCallback() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return vt_ != nullptr; }
+
+  void operator()() { vt_->invoke(buf_); }
+
+  void reset() {
+    if (vt_ != nullptr) {
+      if (vt_->destroy != nullptr) vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  void move_from(SmallCallback& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(buf_, other.buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buf_[kInlineSize];
+  const detail::CallbackVTable* vt_ = nullptr;
+};
+
+}  // namespace nfv::sim

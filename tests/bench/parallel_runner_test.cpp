@@ -1,0 +1,120 @@
+// ParallelRunner determinism contract: results come back in submission
+// order regardless of worker count, so a bench's printed output is
+// byte-identical whether it ran serially or across a pool.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness.hpp"
+
+namespace {
+
+// Declared first on purpose: bench_workers() caches its answer, so the env
+// override must be asserted before anything else in this binary touches it.
+TEST(ParallelRunner, BenchWorkersHonoursEnvOverride) {
+  ::setenv("NFV_BENCH_WORKERS", "3", 1);
+  EXPECT_EQ(bench::bench_workers(), 3u);
+}
+
+TEST(ParallelRunner, ResultsComeBackInSubmissionOrder) {
+  // Later jobs finish first (decreasing sleep), yet the result vector must
+  // follow submission order.
+  bench::ParallelRunner<int> runner(4);
+  for (int i = 0; i < 8; ++i) {
+    runner.submit([i] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(8 - i));
+      return i * 10;
+    });
+  }
+  const auto results = runner.run();
+  ASSERT_EQ(results.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(results[i], i * 10);
+}
+
+TEST(ParallelRunner, SubmitReturnsIndex) {
+  bench::ParallelRunner<int> runner(2);
+  EXPECT_EQ(runner.submit([] { return 0; }), 0u);
+  EXPECT_EQ(runner.submit([] { return 0; }), 1u);
+  (void)runner.run();
+}
+
+TEST(ParallelRunner, ReusableAfterRun) {
+  bench::ParallelRunner<int> runner(2);
+  runner.submit([] { return 1; });
+  EXPECT_EQ(runner.run(), (std::vector<int>{1}));
+  runner.submit([] { return 2; });
+  runner.submit([] { return 3; });
+  EXPECT_EQ(runner.run(), (std::vector<int>{2, 3}));
+}
+
+TEST(ParallelRunner, SimulationResultsIdenticalAcrossWorkerCounts) {
+  // The load-bearing property: a grid of real (tiny) simulations yields
+  // bit-identical results at workers=1 and workers=4.
+  bench::ChainSpec spec;
+  spec.costs = {120, 270, 550};
+  spec.rate_pps = 6e6;
+  spec.secs = 0.01;
+
+  const auto run_with = [&spec](std::size_t workers) {
+    bench::ParallelRunner<bench::ChainResult> runner(workers);
+    for (const bench::Mode& mode : bench::kDefaultVsNfvnice) {
+      for (const bench::Sched& sched : bench::kAllScheds) {
+        runner.submit([&mode, &sched, &spec] {
+          return bench::run_chain(mode, sched, spec);
+        });
+      }
+    }
+    return runner.run();
+  };
+
+  const auto serial = run_with(1);
+  const auto parallel = run_with(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].egress_mpps, parallel[i].egress_mpps) << i;
+    EXPECT_EQ(serial[i].entry_drops, parallel[i].entry_drops) << i;
+    EXPECT_EQ(serial[i].wasted_by_pps, parallel[i].wasted_by_pps) << i;
+  }
+}
+
+TEST(ParallelRunner, RunGridIsSchedulerMajor) {
+  // run_grid must enumerate (sched outer, mode inner) to match the print
+  // order of the table benches that consume it.
+  bench::ChainSpec spec;
+  spec.costs = {120};
+  spec.rate_pps = 1e6;
+  spec.secs = 0.005;
+  const auto rows =
+      bench::run_grid(bench::kAllScheds, bench::kDefaultVsNfvnice, spec);
+  ASSERT_EQ(rows.size(),
+            std::size(bench::kAllScheds) * std::size(bench::kDefaultVsNfvnice));
+  std::size_t idx = 0;
+  for (const bench::Sched& sched : bench::kAllScheds) {
+    for (const bench::Mode& mode : bench::kDefaultVsNfvnice) {
+      EXPECT_EQ(rows[idx].sched, &sched) << idx;
+      EXPECT_EQ(rows[idx].mode, &mode) << idx;
+      ++idx;
+    }
+  }
+}
+
+TEST(ParallelRunner, RunGridWithReportCarriesJson) {
+  bench::ChainSpec spec;
+  spec.costs = {120};
+  spec.rate_pps = 1e6;
+  spec.secs = 0.005;
+  const auto rows = bench::run_grid(bench::kAllScheds,
+                                    bench::kDefaultVsNfvnice, spec,
+                                    /*with_report=*/true);
+  for (const auto& row : rows) {
+    EXPECT_FALSE(row.report.empty());
+    EXPECT_EQ(row.report.front(), '{');
+  }
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace nfv::common {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ZeroWorkersClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 1u);
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; });
+  pool.wait_idle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, WorkerCountIsHonoured) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+}
+
+TEST(ThreadPool, WaitIdleWaitsForRunningJobs) {
+  // wait_idle must cover jobs that have been popped off the queue but are
+  // still executing, not just an empty queue.
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // destructor joins after the queue drains
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, ReusableAcrossWaves) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), (wave + 1) * 16);
+  }
+}
+
+TEST(ThreadPool, JobsMaySubmitMoreJobs) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&pool, &count] {
+    count.fetch_add(1, std::memory_order_relaxed);
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, ParallelJobsActuallyOverlap) {
+  // With 2 workers, two blocking jobs must be in flight at once.
+  ThreadPool pool(2);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 2; ++i) {
+    pool.submit([&in_flight, &peak] {
+      const int now = in_flight.fetch_add(1, std::memory_order_relaxed) + 1;
+      int prev = peak.load(std::memory_order_relaxed);
+      while (prev < now &&
+             !peak.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      in_flight.fetch_sub(1, std::memory_order_relaxed);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(peak.load(), 2);
+}
+
+}  // namespace
+}  // namespace nfv::common

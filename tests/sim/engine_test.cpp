@@ -149,6 +149,110 @@ TEST(Engine, EventsScheduledDuringRunAreExecuted) {
   EXPECT_EQ(e.now(), 99);
 }
 
+TEST(Engine, CancelAfterFireIsNoOp) {
+  // Regression: cancelling an already-fired one-shot used to decrement
+  // pending_events (underflowing the gauge) and leak heap bookkeeping.
+  Engine e;
+  int fired = 0;
+  const EventId id = e.schedule_at(10, [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.pending_events(), 0u);
+  EXPECT_FALSE(e.cancel(id));
+  EXPECT_EQ(e.pending_events(), 0u);  // no underflow
+  // The engine must still work normally afterwards.
+  e.schedule_after(5, [&] { ++fired; });
+  EXPECT_EQ(e.pending_events(), 1u);
+  e.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(e.pending_events(), 0u);
+}
+
+TEST(Engine, StaleIdCannotCancelReusedSlot) {
+  // After a one-shot fires, its slot is recycled for new events. A stale
+  // EventId (same slot, older generation) must not cancel the new tenant.
+  Engine e;
+  bool second_fired = false;
+  const EventId old_id = e.schedule_at(1, [] {});
+  e.run();
+  // The next schedule reuses the freed slot.
+  const EventId new_id = e.schedule_at(10, [&] { second_fired = true; });
+  EXPECT_FALSE(e.cancel(old_id));  // stale generation: refused
+  e.run();
+  EXPECT_TRUE(second_fired);
+  EXPECT_NE(old_id, new_id);
+}
+
+TEST(Engine, CancelledSlotIsRecycledSafely) {
+  // Cancelling an armed event frees its slot immediately; a stale cancel of
+  // the same id after the slot is re-armed must be refused.
+  Engine e;
+  const EventId a = e.schedule_at(50, [] { FAIL() << "cancelled event ran"; });
+  EXPECT_TRUE(e.cancel(a));
+  EXPECT_EQ(e.pending_events(), 0u);
+  int fired = 0;
+  e.schedule_at(60, [&] { ++fired; });  // reuses a's slot
+  EXPECT_FALSE(e.cancel(a));
+  e.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, OneShotSelfCancelDuringDispatchIsNoOp) {
+  // A callback cancelling its own (already-firing) id must get `false` and
+  // leave the engine consistent.
+  Engine e;
+  EventId id = kInvalidEventId;
+  bool self_cancel_result = true;
+  id = e.schedule_at(10, [&] { self_cancel_result = e.cancel(id); });
+  e.run();
+  EXPECT_FALSE(self_cancel_result);
+  EXPECT_EQ(e.pending_events(), 0u);
+}
+
+TEST(Engine, ManyCancelledEventsDoNotAccumulateState) {
+  // With O(1) eager cancellation the heap entry is lazily skipped but the
+  // slot must be reusable at once: heavy schedule/cancel churn keeps
+  // pending_events exact.
+  Engine e;
+  for (int round = 0; round < 1000; ++round) {
+    const EventId id = e.schedule_after(100, [] {});
+    EXPECT_TRUE(e.cancel(id));
+  }
+  EXPECT_EQ(e.pending_events(), 0u);
+  int fired = 0;
+  e.schedule_after(1, [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.dispatched_events(), 1u);
+}
+
+TEST(Engine, DeterministicUnderChurn) {
+  // Two engines fed the identical schedule/cancel pattern must observe the
+  // identical dispatch sequence — the determinism contract every simulation
+  // above relies on.
+  const auto run_once = [] {
+    Engine e;
+    std::vector<Cycles> fire_times;
+    std::vector<EventId> live;
+    std::uint64_t seed = 99;
+    for (int i = 0; i < 3000; ++i) {
+      seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+      const Cycles t = static_cast<Cycles>(seed % 5000);
+      live.push_back(
+          e.schedule_at(t, [&fire_times, &e] { fire_times.push_back(e.now()); }));
+      if (seed % 3 == 0 && !live.empty()) {
+        e.cancel(live[seed % live.size()]);
+      }
+    }
+    e.run();
+    return fire_times;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
 TEST(Engine, HeavyLoadOrderingProperty) {
   // Many events at random times must still execute in nondecreasing order.
   Engine e;
