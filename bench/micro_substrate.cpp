@@ -133,6 +133,30 @@ void BM_EndToEndChainMillisecond(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndChainMillisecond)->Unit(benchmark::kMillisecond);
 
+/// Same chain with the burst window forced, to size what batched event
+/// execution buys (1 = the seed's one-event-per-packet schedule).
+void BM_EndToEndBurstWindow(benchmark::State& state) {
+  nfv::core::PlatformConfig cfg;
+  cfg.set_nfvnice(true);
+  cfg.set_burst_window(static_cast<std::uint32_t>(state.range(0)));
+  nfv::core::Simulation sim(cfg);
+  const auto core_id = sim.add_core(nfv::core::SchedPolicy::kCfsBatch, 100.0);
+  const auto a = sim.add_nf("a", core_id, nfv::nf::CostModel::fixed(120));
+  const auto b = sim.add_nf("b", core_id, nfv::nf::CostModel::fixed(270));
+  const auto c = sim.add_nf("c", core_id, nfv::nf::CostModel::fixed(550));
+  const auto chain = sim.add_chain("lmh", {a, b, c});
+  sim.add_udp_flow(chain, 6e6);
+  for (auto _ : state) {
+    sim.run_for_seconds(0.001);
+  }
+  state.SetItemsProcessed(state.iterations());  // items = simulated ms
+}
+BENCHMARK(BM_EndToEndBurstWindow)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -102,6 +102,8 @@ flow::NfId Simulation::add_nf(std::string name, std::size_t core_index,
   cfg.rx_capacity = options.rx_capacity ? options.rx_capacity : config_.rx_capacity;
   cfg.tx_capacity = options.tx_capacity ? options.tx_capacity : config_.tx_capacity;
   cfg.batch_size = options.batch_size;
+  cfg.burst_window =
+      options.burst_window ? options.burst_window : config_.nf_burst_window;
   cfg.high_watermark = config_.high_watermark;
   cfg.low_watermark = config_.low_watermark;
   cfg.sample_interval = clock_.from_micros(options.sample_interval_us);
@@ -163,6 +165,7 @@ flow::FlowId Simulation::add_udp_flow(flow::ChainId chain, double rate_pps,
   cfg.jitter_fraction = options.jitter_fraction;
   cfg.poisson = options.poisson;
   cfg.seed = options.seed;
+  cfg.burst = options.burst ? options.burst : config_.source_burst;
 
   udp_sources_.push_back(std::make_unique<traffic::UdpSource>(
       engine_, *manager_, *pool_, clock_, cfg));
@@ -185,6 +188,7 @@ std::pair<flow::FlowId, traffic::TcpSource*> Simulation::add_tcp_flow(
   cfg.stop_time = options.stop_seconds < 0
                       ? Cycles{-1}
                       : clock_.from_seconds(options.stop_seconds);
+  cfg.burst = options.burst ? options.burst : config_.source_burst;
 
   tcp_sources_.push_back(std::make_unique<traffic::TcpSource>(
       engine_, *manager_, *pool_, flow_id, cfg));

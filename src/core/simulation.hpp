@@ -65,6 +65,22 @@ struct PlatformConfig {
   double high_watermark = 0.80;
   double low_watermark = 0.60;
 
+  /// Packets an NF executes per engine event (run-to-completion burst; see
+  /// DESIGN.md §9). Per-packet costs, timestamps and preemption points are
+  /// exact at any setting; 1 forces the seed's one-event-per-packet
+  /// behaviour (the equivalence suite runs there).
+  std::uint32_t nf_burst_window = 32;
+  /// Arrivals a traffic source delivers per timer event (exact per-packet
+  /// timestamps; 1 = one event per packet).
+  std::uint32_t source_burst = 8;
+
+  /// Force every per-burst knob to `window` (1 = the seed's fully
+  /// per-packet event schedule; used by the equivalence tests).
+  void set_burst_window(std::uint32_t window) {
+    nf_burst_window = window;
+    source_burst = window;
+  }
+
   /// Convenience: turn the whole NFVnice control plane on/off (the paper's
   /// "Default" bar is everything off; cgroups/backpressure can then be
   /// re-enabled individually for the "CGroup"/"BKPR" bars).
@@ -80,6 +96,7 @@ struct NfOptions {
   std::uint32_t rx_capacity = 0;  ///< 0 = platform default.
   std::uint32_t tx_capacity = 0;
   std::uint32_t batch_size = 32;
+  std::uint32_t burst_window = 0;  ///< 0 = PlatformConfig::nf_burst_window.
   double sample_interval_us = 1000.0;  ///< cost-sampling period (§3.5, 1 kHz).
 };
 
@@ -95,6 +112,7 @@ struct UdpOptions {
   double jitter_fraction = 0.1;
   bool poisson = false;
   std::uint64_t seed = 0x9e3779b9ULL;
+  std::uint32_t burst = 0;  ///< Arrivals per timer event; 0 = platform default.
 };
 
 struct TcpOptions {
@@ -104,6 +122,7 @@ struct TcpOptions {
   double stop_seconds = -1.0;
   bool ecn_capable = true;
   std::uint32_t max_cwnd = 4096;
+  std::uint32_t burst = 0;  ///< Paced packets per event; 0 = platform default.
 };
 
 /// Point-in-time dump of every counter a bench needs; subtract two

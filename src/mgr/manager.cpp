@@ -108,13 +108,19 @@ void Manager::start() {
 }
 
 void Manager::ingress(pktio::Mbuf* pkt, const pktio::FlowKey& key) {
+  ingress(pkt, key, engine_.now());
+}
+
+void Manager::ingress(pktio::Mbuf* pkt, const pktio::FlowKey& key,
+                      Cycles arrival) {
   assert(started_ && "call start() before sending traffic");
+  assert(arrival <= engine_.now() && "arrival timestamps cannot be future");
   ++wire_ingress_;
   const flow::FlowEntry* entry = flows_.lookup(key);
   if (entry == nullptr) {
     obs::inc(ctr_unmatched_drops_);
     if (auto* tr = obs::trace_of(obs_)) {
-      tr->instant(engine_.now(), obs::kManagerLane, "mgr", "drop",
+      tr->instant(arrival, obs::kManagerLane, "mgr", "drop",
                   {{"reason", "unmatched"}});
     }
     drop(pkt);  // unmatched traffic is not steered anywhere
@@ -123,7 +129,7 @@ void Manager::ingress(pktio::Mbuf* pkt, const pktio::FlowKey& key) {
   pkt->flow_id = entry->flow_id;
   pkt->chain_id = entry->chain;
   pkt->chain_pos = 0;
-  pkt->arrival_time = engine_.now();
+  pkt->arrival_time = arrival;
   pkt->key = key;
   pkt->numa_node = static_cast<std::int8_t>(config_.nic_numa_node);
 
@@ -139,7 +145,7 @@ void Manager::ingress(pktio::Mbuf* pkt, const pktio::FlowKey& key) {
     ++records_[chains_.get(pkt->chain_id).hops.front()].counters.offered;
     ++cc.entry_throttle_drops;
     if (auto* tr = obs::trace_of(obs_)) {
-      tr->instant(engine_.now(), obs::kManagerLane, "mgr", "drop",
+      tr->instant(arrival, obs::kManagerLane, "mgr", "drop",
                   {{"reason", "entry_throttle"}},
                   {{"chain", static_cast<std::int64_t>(pkt->chain_id)}});
     }
@@ -147,10 +153,10 @@ void Manager::ingress(pktio::Mbuf* pkt, const pktio::FlowKey& key) {
     return;
   }
   ++cc.entry_admitted;
-  enqueue_to_nf(chains_.get(pkt->chain_id).hops.front(), pkt);
+  enqueue_to_nf(chains_.get(pkt->chain_id).hops.front(), pkt, arrival);
 }
 
-void Manager::enqueue_to_nf(flow::NfId nf_id, pktio::Mbuf* pkt) {
+void Manager::enqueue_to_nf(flow::NfId nf_id, pktio::Mbuf* pkt, Cycles when) {
   NfRecord& rec = records_[nf_id];
   nf::NfTask& task = *rec.task;
   ++rec.counters.offered;
@@ -162,7 +168,7 @@ void Manager::enqueue_to_nf(flow::NfId nf_id, pktio::Mbuf* pkt) {
       ++fc[pkt->flow_id].ecn_marked;
       obs::inc(rec.ecn_marks);
       if (auto* tr = obs::trace_of(obs_)) {
-        tr->instant(engine_.now(), obs::kManagerLane, "mgr", "ecn_mark",
+        tr->instant(when, obs::kManagerLane, "mgr", "ecn_mark",
                     {{"nf", task.config().name}},
                     {{"flow", static_cast<std::int64_t>(pkt->flow_id)},
                      {"qlen", static_cast<std::int64_t>(task.rx_ring().size())}});
@@ -170,7 +176,7 @@ void Manager::enqueue_to_nf(flow::NfId nf_id, pktio::Mbuf* pkt) {
     }
   }
 
-  pkt->enqueue_time = engine_.now();
+  pkt->enqueue_time = when;
   const pktio::EnqueueResult result = task.rx_ring().enqueue(pkt);
   if (result == pktio::EnqueueResult::kFull) {
     ++rec.counters.rx_full_drops;
@@ -181,7 +187,7 @@ void Manager::enqueue_to_nf(flow::NfId nf_id, pktio::Mbuf* pkt) {
       ++records_[hops[pkt->chain_pos - 1]].counters.downstream_drops;
     }
     if (auto* tr = obs::trace_of(obs_)) {
-      tr->instant(engine_.now(), obs::kManagerLane, "mgr", "drop",
+      tr->instant(when, obs::kManagerLane, "mgr", "drop",
                   {{"reason", "rx_full"}, {"nf", task.config().name}},
                   {{"chain_pos", static_cast<std::int64_t>(pkt->chain_pos)}});
     }
@@ -194,7 +200,7 @@ void Manager::enqueue_to_nf(flow::NfId nf_id, pktio::Mbuf* pkt) {
   if (result == pktio::EnqueueResult::kOkOverloaded) {
     task.set_overload_flag(true);
     if (config_.enable_backpressure) {
-      bp_->on_enqueue_feedback(nf_id, result, engine_.now());
+      bp_->on_enqueue_feedback(nf_id, result, when);
     }
   }
   if (config_.wake_on_arrival && !task.yield_flag()) {
@@ -215,6 +221,8 @@ void Manager::drain_tx(flow::NfId nf_id) {
   rec.drain_scheduled = false;
 
   pktio::Mbuf* burst[256];
+  pktio::Mbuf* done[256];
+  std::size_t done_n = 0;
   const std::size_t max_burst =
       std::min<std::size_t>(config_.tx_burst, std::size(burst));
   const bool was_full = rec.task->tx_ring().full();
@@ -225,10 +233,12 @@ void Manager::drain_tx(flow::NfId nf_id) {
     ++pkt->chain_pos;
     if (pkt->chain_pos >= hops.size()) {
       egress(pkt);
+      done[done_n++] = pkt;  // freed in one burst below
     } else {
-      enqueue_to_nf(hops[pkt->chain_pos], pkt);
+      enqueue_to_nf(hops[pkt->chain_pos], pkt, engine_.now());
     }
   }
+  if (done_n > 0) pool_.free_burst(done, done_n);
 
   if (!rec.task->tx_ring().empty()) schedule_drain(nf_id);
   // Freed TX space may unblock a locally backpressured NF.
@@ -256,7 +266,8 @@ void Manager::egress(pktio::Mbuf* pkt) {
   if (pkt->flow_id < egress_sinks_.size() && egress_sinks_[pkt->flow_id]) {
     egress_sinks_[pkt->flow_id](*pkt);
   }
-  pool_.free(pkt);
+  // Ownership note: the caller (drain_tx) frees egressed packets in one
+  // free_burst after the whole TX burst is dispatched.
 }
 
 void Manager::drop(pktio::Mbuf* pkt) { pool_.free(pkt); }

@@ -171,6 +171,13 @@ class Manager {
   /// `pkt` (frees it on drop). `key` drives the flow-table lookup.
   void ingress(pktio::Mbuf* pkt, const pktio::FlowKey& key);
 
+  /// Same, with an explicit wire-arrival timestamp (<= now). Batched
+  /// traffic sources deliver several packets from one timer callback; the
+  /// per-packet arrival time keeps latency accounting, ECN and watermark
+  /// feedback stamped at the exact instants an unbatched source would have
+  /// produced.
+  void ingress(pktio::Mbuf* pkt, const pktio::FlowKey& key, Cycles arrival);
+
   /// Per-flow egress hook (TCP sources use it to observe deliveries and
   /// ECN marks). The packet is freed after the sink returns.
   void set_egress_sink(flow::FlowId flow, EgressSink sink);
@@ -216,7 +223,7 @@ class Manager {
     obs::Gauge* cpu_shares = nullptr;
   };
 
-  void enqueue_to_nf(flow::NfId nf_id, pktio::Mbuf* pkt);
+  void enqueue_to_nf(flow::NfId nf_id, pktio::Mbuf* pkt, Cycles when);
   void schedule_drain(flow::NfId nf_id);
   void drain_tx(flow::NfId nf_id);
   void egress(pktio::Mbuf* pkt);

@@ -1,5 +1,6 @@
 #include "nf/nf_task.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -15,7 +16,14 @@ NfTask::NfTask(sim::Engine& engine, Config config)
       rx_ring_(config.rx_capacity, config.high_watermark, config.low_watermark),
       tx_ring_(config.tx_capacity),
       window_(config.sample_window),
-      warmup_left_(config.warmup_samples) {}
+      warmup_left_(config.warmup_samples) {
+  burst_.reserve(std::max<std::uint32_t>(1, config_.burst_window));
+}
+
+NfTask::~NfTask() {
+  // A queued completion event holds a raw `this`; never let it outlive us.
+  if (work_event_ != sim::kInvalidEventId) engine_.cancel(work_event_);
+}
 
 void NfTask::set_observability(obs::Observability* obs) {
   if (obs == nullptr) return;
@@ -66,35 +74,50 @@ bool NfTask::has_runnable_work() const {
   if (yield_flag_) return false;
   if (io_ != nullptr && io_->would_block()) return false;
   if (tx_ring_.full()) return false;
-  return current_pkt_ != nullptr || !rx_ring_.empty();
+  return burst_pos_ < burst_.size() || !rx_ring_.empty();
 }
 
 void NfTask::on_dispatch(Cycles now) {
-  if (current_pkt_ != nullptr && work_event_ == sim::kInvalidEventId) {
-    // Resume the packet that was in flight when we were preempted.
-    work_complete_time_ = now + resume_remaining_;
+  if (burst_pos_ < burst_.size() && work_event_ == sim::kInvalidEventId) {
+    // Resume the burst that was in flight when we were preempted: replay
+    // the remaining virtual clock from now. The burst is not extended with
+    // new RX arrivals — the split already sampled these packets' costs.
+    Cycles cursor = now + resume_remaining_;
     resume_remaining_ = 0;
-    work_event_ =
-        engine_.schedule_after(work_complete_time_ - now, [this] { on_packet_done(); });
+    burst_[burst_pos_].done_at = cursor;
+    for (std::size_t i = burst_pos_ + 1; i < burst_.size(); ++i) {
+      cursor += burst_[i].cost;
+      burst_[i].done_at = cursor;
+    }
+    work_event_ = engine_.schedule_at(cursor, [this] { on_burst_done(); });
     return;
   }
-  start_next_packet(now);
+  start_next_burst(now);
 }
 
 void NfTask::on_preempt(Cycles now) {
-  if (work_event_ != sim::kInvalidEventId) {
-    engine_.cancel(work_event_);
-    work_event_ = sim::kInvalidEventId;
-    resume_remaining_ = work_complete_time_ - now;
-    assert(resume_remaining_ >= 0);
+  if (work_event_ == sim::kInvalidEventId) return;  // preempted mid-switch
+  engine_.cancel(work_event_);
+  work_event_ = sim::kInvalidEventId;
+  // Split the burst at the preemption point: packets whose virtual
+  // completion time already passed are really done — finalize them at
+  // their exact times. The packet straddling `now` stays in flight with
+  // its unserved remainder (strict <: completing exactly at the preempt
+  // instant still counts as in flight, as the per-packet engine did).
+  while (burst_pos_ < burst_.size() && burst_[burst_pos_].done_at < now) {
+    finalize_packet(burst_[burst_pos_]);
+    ++burst_pos_;
   }
+  assert(burst_pos_ < burst_.size() && "armed burst cannot be fully done");
+  resume_remaining_ = burst_[burst_pos_].done_at - now;
+  assert(resume_remaining_ >= 0);
 }
 
-void NfTask::start_next_packet(Cycles now) {
-  assert(current_pkt_ == nullptr);
+void NfTask::start_next_burst(Cycles now) {
+  assert(burst_pos_ >= burst_.size());
 
   // The relinquish flag is honoured at batch boundaries only (§3.2): here
-  // when a fresh batch would start, and in on_packet_done() after a full
+  // when a fresh batch would start, and in on_burst_done() after a full
   // batch. Mid-batch changes wait for the boundary, as in libnf.
   if (batch_count_ == 0 && yield_flag_) {
     ++counters_.batch_yields;
@@ -121,47 +144,56 @@ void NfTask::start_next_packet(Cycles now) {
     return;
   }
 
-  current_pkt_ = pkt;
-  current_cost_ = cost_.sample(*pkt);
-  // First touch of a buffer produced on another socket costs extra; the
-  // data is local (cached here) from now on.
+  // Size the burst: the relinquish-flag boundary (batch_size) and the TX
+  // space guarantee must hold for every packet, and an NF doing async I/O
+  // re-checks would_block() before each packet, so it runs unbatched.
+  const std::uint32_t window =
+      io_ != nullptr ? 1 : std::max<std::uint32_t>(1, config_.burst_window);
+  const std::size_t max_k = std::min<std::size_t>(
+      std::min<std::size_t>(window, config_.batch_size - batch_count_),
+      tx_ring_.capacity() - tx_ring_.size());
+  // Cap at the next possible tick preemption so the common case completes
+  // without a split. Exactness does not depend on this: overshooting (a
+  // wakeup preemption, a stale horizon) is healed by the on_preempt split.
+  const Cycles horizon =
+      max_k > 1 ? core()->preemption_horizon() : sched::kUnboundedSlack;
   const int local_node = core()->numa_node();
-  if (pkt->numa_node != local_node) {
-    current_cost_ += config_.numa_penalty;
-    pkt->numa_node = static_cast<std::int8_t>(local_node);
-    ++counters_.numa_remote_packets;
+
+  burst_.clear();
+  burst_pos_ = 0;
+  Cycles cursor = now;
+  while (true) {
+    Cycles cost = cost_.sample(*pkt);
+    // First touch of a buffer produced on another socket costs extra; the
+    // data is local (cached here) from now on.
+    if (pkt->numa_node != local_node) {
+      cost += config_.numa_penalty;
+      pkt->numa_node = static_cast<std::int8_t>(local_node);
+      ++counters_.numa_remote_packets;
+    }
+    cursor += cost;
+    burst_.push_back(BurstEntry{pkt, cost, cursor});
+    if (burst_.size() >= max_k || cursor >= horizon) break;
+    pkt = rx_ring_.dequeue();
+    if (pkt == nullptr) break;
   }
-  work_complete_time_ = now + current_cost_;
-  work_event_ =
-      engine_.schedule_after(current_cost_, [this] { on_packet_done(); });
+  work_event_ = engine_.schedule_at(cursor, [this] { on_burst_done(); });
 }
 
-void NfTask::on_packet_done() {
+void NfTask::on_burst_done() {
   const Cycles now = engine_.now();
   work_event_ = sim::kInvalidEventId;
-  pktio::Mbuf* pkt = current_pkt_;
-  current_pkt_ = nullptr;
-
-  maybe_sample(now, current_cost_);
-  ++counters_.processed;
-
-  const NfAction action = handler_ ? handler_(*pkt) : NfAction::kForward;
-  if (action == NfAction::kDrop) {
-    ++counters_.handler_drops;
-    if (release_) release_(pkt);
-  } else {
-    // Room was guaranteed before the packet was started and only the
-    // manager's Tx thread drains this ring, so enqueue cannot fail.
-    const auto result = tx_ring_.enqueue(pkt);
-    assert(result != pktio::EnqueueResult::kFull);
-    (void)result;
-    ++counters_.forwarded;
-    if (tx_notify_) tx_notify_(*this);
+  while (burst_pos_ < burst_.size()) {
+    finalize_packet(burst_[burst_pos_]);
+    ++burst_pos_;
   }
+  burst_.clear();
+  burst_pos_ = 0;
 
   // Batch boundary: after at most `batch_size` packets, honour the
-  // manager's relinquish flag (§3.2).
-  if (++batch_count_ >= config_.batch_size) {
+  // manager's relinquish flag (§3.2). Burst assembly never crosses the
+  // boundary, so the wrap can only land here, after a whole burst.
+  if (batch_count_ >= config_.batch_size) {
     batch_count_ = 0;
     if (yield_flag_) {
       ++counters_.batch_yields;
@@ -171,7 +203,28 @@ void NfTask::on_packet_done() {
   }
 
   if (state() != sched::TaskState::kRunning) return;  // preempted meanwhile
-  start_next_packet(now);
+  start_next_burst(now);
+}
+
+void NfTask::finalize_packet(const BurstEntry& entry) {
+  maybe_sample(entry.done_at, entry.cost);
+  ++counters_.processed;
+
+  pktio::Mbuf* pkt = entry.pkt;
+  const NfAction action = handler_ ? handler_(*pkt) : NfAction::kForward;
+  if (action == NfAction::kDrop) {
+    ++counters_.handler_drops;
+    if (release_) release_(pkt);
+  } else {
+    // Room for the whole burst was guaranteed at assembly and only the
+    // manager's Tx thread drains this ring, so enqueue cannot fail.
+    const auto result = tx_ring_.enqueue(pkt);
+    assert(result != pktio::EnqueueResult::kFull);
+    (void)result;
+    ++counters_.forwarded;
+    if (tx_notify_) tx_notify_(*this);
+  }
+  ++batch_count_;
 }
 
 void NfTask::block_self() {

@@ -10,13 +10,15 @@
 // double buffers are both full (§3.4).
 //
 // NfTask is both the libnf instance and the schedulable process: the Core
-// dispatches/preempts it, and it drives per-packet work-completion events
-// on the simulation engine while it holds the CPU.
+// dispatches/preempts it, and while it holds the CPU it executes packets in
+// run-to-completion bursts — one engine event per burst, with per-packet
+// costs laid out on a local virtual clock (see DESIGN.md §9).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/histogram.hpp"
 #include "common/moving_window.hpp"
@@ -65,6 +67,15 @@ class NfTask : public sched::Task {
     /// Extra per-packet cycles when the packet's buffer lives on another
     /// NUMA node (§1: scheduling must be "cognizant of NUMA concerns").
     Cycles numa_penalty = 300;
+    /// Packets executed per engine event (run-to-completion burst). The
+    /// burst is assembled up front — per-packet cost sampled, NUMA penalty
+    /// charged, completion times laid out on a local virtual clock — and a
+    /// single event fires at the accumulated completion time. Capped by
+    /// batch_size, TX space and the core's preemption horizon; 1 restores
+    /// the seed's one-event-per-packet behaviour exactly (the equivalence
+    /// suite pins this). NFs with attached async I/O always run at 1, since
+    /// libnf checks would_block() before every packet.
+    std::uint32_t burst_window = 32;
   };
 
   /// Handler invoked per packet, in addition to the modelled CPU cost.
@@ -76,6 +87,7 @@ class NfTask : public sched::Task {
   using Release = std::function<void(pktio::Mbuf*)>;
 
   NfTask(sim::Engine& engine, Config config);
+  ~NfTask() override;
 
   // -- wiring (done once by the platform) ---------------------------------
   void set_handler(Handler handler) { handler_ = std::move(handler); }
@@ -123,13 +135,29 @@ class NfTask : public sched::Task {
   /// True when waking the NF would let it make progress.
   [[nodiscard]] bool has_runnable_work() const;
 
+  /// Packets dequeued from the RX ring into the current burst but not yet
+  /// finalized. Conservation accounting must count these alongside ring
+  /// occupancy: they are alive in the pool but visible in no queue.
+  [[nodiscard]] std::size_t in_flight_packets() const {
+    return burst_.size() - burst_pos_;
+  }
+
   // -- sched::Task ----------------------------------------------------------
   void on_dispatch(Cycles now) override;
   void on_preempt(Cycles now) override;
 
  private:
-  void start_next_packet(Cycles now);
-  void on_packet_done();
+  /// One packet's slot in the assembled burst: cost was sampled and the
+  /// completion time laid out on the local virtual clock at assembly time.
+  struct BurstEntry {
+    pktio::Mbuf* pkt;
+    Cycles cost;     ///< Sampled service time (incl. NUMA penalty).
+    Cycles done_at;  ///< Virtual completion time within the burst.
+  };
+
+  void start_next_burst(Cycles now);
+  void on_burst_done();
+  void finalize_packet(const BurstEntry& entry);
   void block_self();
   void maybe_sample(Cycles now, Cycles cost);
 
@@ -147,12 +175,14 @@ class NfTask : public sched::Task {
   bool yield_flag_ = false;
   bool overload_flag_ = false;
 
-  // In-flight packet state across preemptions.
-  pktio::Mbuf* current_pkt_ = nullptr;
-  Cycles current_cost_ = 0;
+  // In-flight burst state across preemptions. Entries before burst_pos_
+  // are finalized (handler ran, packet left the NF); burst_pos_ onward are
+  // dequeued-but-unexecuted packets this task still owns. When preempted,
+  // resume_remaining_ holds the unserved cycles of entry burst_pos_.
+  std::vector<BurstEntry> burst_;
+  std::size_t burst_pos_ = 0;
   Cycles resume_remaining_ = 0;
   sim::EventId work_event_ = sim::kInvalidEventId;
-  Cycles work_complete_time_ = 0;
   std::uint32_t batch_count_ = 0;
 
   // Service-time estimation (§3.5).

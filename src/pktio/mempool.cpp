@@ -12,6 +12,9 @@ MbufPool::MbufPool(std::uint32_t capacity) : capacity_(capacity) {
     slots_[i].pool_index = i;
     free_list_.push_back(i);
   }
+#ifndef NDEBUG
+  is_free_.assign(capacity, true);
+#endif
 }
 
 Mbuf* MbufPool::alloc() {
@@ -21,6 +24,9 @@ Mbuf* MbufPool::alloc() {
   }
   const std::uint32_t index = free_list_.back();
   free_list_.pop_back();
+#ifndef NDEBUG
+  is_free_[index] = false;
+#endif
   Mbuf& mbuf = slots_[index];
   // Reset metadata but keep the identity field.
   mbuf = Mbuf{};
@@ -28,11 +34,29 @@ Mbuf* MbufPool::alloc() {
   return &mbuf;
 }
 
+std::uint32_t MbufPool::alloc_burst(Mbuf** out, std::uint32_t n) {
+  if (free_list_.size() < n) {
+    ++alloc_failures_;
+    return 0;
+  }
+  for (std::uint32_t i = 0; i < n; ++i) out[i] = alloc();
+  return n;
+}
+
 void MbufPool::free(Mbuf* mbuf) {
   assert(mbuf != nullptr);
   assert(mbuf >= slots_.data() && mbuf < slots_.data() + capacity_ &&
          "mbuf does not belong to this pool");
+  assert(mbuf == &slots_[mbuf->pool_index] && "corrupted pool_index");
+#ifndef NDEBUG
+  assert(!is_free_[mbuf->pool_index] && "double free of mbuf");
+  is_free_[mbuf->pool_index] = true;
+#endif
   free_list_.push_back(mbuf->pool_index);
+}
+
+void MbufPool::free_burst(Mbuf* const* mbufs, std::uint32_t n) {
+  for (std::uint32_t i = 0; i < n; ++i) free(mbufs[i]);
 }
 
 }  // namespace nfv::pktio

@@ -19,9 +19,20 @@ class MbufPool {
   /// generator then counts a wire drop, as a NIC would under mbuf pressure).
   Mbuf* alloc();
 
+  /// Allocate `n` mbufs into `out`, all-or-nothing (DPDK
+  /// rte_pktmbuf_alloc_bulk semantics): returns `n` on success, 0 — with
+  /// `out` untouched and one alloc failure counted — when fewer than `n`
+  /// buffers are free.
+  std::uint32_t alloc_burst(Mbuf** out, std::uint32_t n);
+
   /// Return an mbuf to the pool. The mbuf must have come from this pool and
-  /// must not be referenced afterwards.
+  /// must not be referenced afterwards. Debug builds assert on double free
+  /// (a release-build double free silently corrupts the free list: the slot
+  /// gets handed out twice and two owners scribble over each other).
   void free(Mbuf* mbuf);
+
+  /// Return `n` mbufs; equivalent to calling free() on each in order.
+  void free_burst(Mbuf* const* mbufs, std::uint32_t n);
 
   [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
   [[nodiscard]] std::uint32_t in_use() const {
@@ -34,6 +45,9 @@ class MbufPool {
   std::vector<Mbuf> slots_;
   std::vector<std::uint32_t> free_list_;
   std::uint64_t alloc_failures_ = 0;
+#ifndef NDEBUG
+  std::vector<bool> is_free_;  ///< Debug-only double-free detector.
+#endif
 };
 
 }  // namespace nfv::pktio

@@ -28,6 +28,17 @@ EnqueueResult Ring::enqueue(Mbuf* mbuf) {
   return count_ >= high_mark_ ? EnqueueResult::kOkOverloaded : EnqueueResult::kOk;
 }
 
+std::size_t Ring::enqueue_burst(Mbuf* const* in, std::size_t n) {
+  const std::size_t accepted = std::min(n, capacity_ - count_);
+  for (std::size_t i = 0; i < accepted; ++i) {
+    slots_[tail_] = in[i];
+    tail_ = (tail_ + 1) & mask_;
+  }
+  count_ += accepted;
+  total_enqueued_ += accepted;
+  return accepted;
+}
+
 Mbuf* Ring::dequeue() {
   if (count_ == 0) return nullptr;
   Mbuf* mbuf = slots_[head_];

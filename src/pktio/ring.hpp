@@ -34,6 +34,12 @@ class Ring {
 
   EnqueueResult enqueue(Mbuf* mbuf);
 
+  /// Enqueue up to `n` descriptors from `in`; returns the number accepted
+  /// (fewer than `n` when the ring fills mid-burst, matching DPDK's
+  /// variable-count rte_ring_enqueue_burst). Watermark feedback is read
+  /// separately via above_high_watermark().
+  std::size_t enqueue_burst(Mbuf* const* in, std::size_t n);
+
   /// Dequeue one descriptor; nullptr when empty.
   Mbuf* dequeue();
 

@@ -68,6 +68,17 @@ bool CfsScheduler::should_resched_on_tick(const Task* current,
   return delta > static_cast<double>(ideal);
 }
 
+Cycles CfsScheduler::tick_preempt_slack(const Task* /*current*/,
+                                        Cycles ran_so_far) const {
+  // Conservative under-estimate of should_resched_on_tick's trigger time.
+  // Below min_granularity the tick never reschedules, so that much is
+  // always safe. Past it, the vruntime-vs-leftmost clause can fire on any
+  // tick (the leftmost task's vruntime is outside our control), so claim
+  // no further slack rather than model it.
+  if (queue_.empty()) return kUnboundedSlack;
+  return std::max<Cycles>(0, params_.min_granularity - ran_so_far);
+}
+
 bool CfsScheduler::should_preempt_on_wake(const Task* woken,
                                           const Task* current,
                                           Cycles ran_so_far) const {

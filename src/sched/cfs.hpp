@@ -29,6 +29,8 @@ class CfsScheduler : public Scheduler {
   [[nodiscard]] Cycles timeslice(const Task* task) const override;
   [[nodiscard]] bool should_resched_on_tick(const Task* current,
                                             Cycles ran_so_far) const override;
+  [[nodiscard]] Cycles tick_preempt_slack(const Task* current,
+                                          Cycles ran_so_far) const override;
   [[nodiscard]] bool should_preempt_on_wake(const Task* woken,
                                             const Task* current,
                                             Cycles ran_so_far) const override;

@@ -16,6 +16,7 @@ Core::Core(sim::Engine& engine, std::unique_ptr<Scheduler> scheduler,
       name_(std::move(name)) {
   assert(scheduler_ != nullptr);
   assert(config_.tick_period > 0);
+  next_tick_time_ = engine_.now() + config_.tick_period;
   tick_event_ = engine_.schedule_periodic(config_.tick_period, [this] { on_tick(); });
 }
 
@@ -155,7 +156,26 @@ void Core::start_running(Task* task) {
   task->on_dispatch(engine_.now());
 }
 
+Cycles Core::preemption_horizon() const {
+  if (current_ == nullptr) return sched::kUnboundedSlack;
+  if (scheduler_->runnable_count() == 0) {
+    // on_tick early-outs with nobody to switch to; an arrival that changes
+    // that arrives as an event and goes through the wakeup/split path.
+    return sched::kUnboundedSlack;
+  }
+  const Cycles ran = std::max<Cycles>(0, engine_.now() - stint_start_);
+  const Cycles slack = scheduler_->tick_preempt_slack(current_, ran);
+  if (slack >= sched::kUnboundedSlack) return sched::kUnboundedSlack;
+  // First tick at or after now + slack (ticks only fire on the grid).
+  const Cycles target = engine_.now() + slack;
+  if (target <= next_tick_time_) return next_tick_time_;
+  const Cycles period = config_.tick_period;
+  const Cycles periods = (target - next_tick_time_ + period - 1) / period;
+  return next_tick_time_ + periods * period;
+}
+
 void Core::on_tick() {
+  next_tick_time_ = engine_.now() + config_.tick_period;
   if (current_ == nullptr) return;
   account_running(/*stint_ends=*/false);
   const Cycles ran = std::max<Cycles>(0, engine_.now() - stint_start_);

@@ -79,6 +79,17 @@ class Core {
   [[nodiscard]] const std::vector<Task*>& tasks() const { return tasks_; }
   [[nodiscard]] int numa_node() const { return config_.numa_node; }
 
+  /// Earliest absolute time at which the running task could be preempted by
+  /// the periodic tick, given the runqueue right now. Run-to-completion
+  /// bursts use this to size themselves so the next tick-driven preemption
+  /// still lands at the exact cycle it would have hit without batching.
+  /// Ticks only fire on the tick grid, so the horizon is the first tick at
+  /// or after now + the policy's tick_preempt_slack; sched::kUnboundedSlack
+  /// when nothing can preempt (empty runqueue, FIFO). Wakeup preemption is
+  /// deliberately not folded in: wakeups arrive as events, and the burst
+  /// split path (Task::on_preempt) already restores exactness for them.
+  [[nodiscard]] Cycles preemption_horizon() const;
+
   /// Attach the observability context: registers this core's scheduler
   /// counters under the {"core", name} scope and emits sched trace events
   /// (ctx_switch / wakeup / yield / preempt) on trace `lane` whenever a
@@ -104,6 +115,7 @@ class Core {
   Task* current_ = nullptr;
   Task* last_ran_ = nullptr;
   Cycles stint_start_ = 0;    ///< Dispatch time of the current stint.
+  Cycles next_tick_time_ = 0; ///< When the next periodic tick fires.
   Cycles account_start_ = 0;  ///< Last point runtime/vruntime were charged.
   sim::EventId tick_event_ = sim::kInvalidEventId;
   /// Pending start_running() while the context-switch cost elapses. The

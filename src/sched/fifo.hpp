@@ -30,6 +30,10 @@ class FifoScheduler : public Scheduler {
                                             Cycles /*ran*/) const override {
     return false;  // run to completion
   }
+  [[nodiscard]] Cycles tick_preempt_slack(const Task* /*current*/,
+                                          Cycles /*ran*/) const override {
+    return kUnboundedSlack;  // ticks never reschedule FIFO
+  }
   [[nodiscard]] bool should_preempt_on_wake(const Task* /*woken*/,
                                             const Task* /*current*/,
                                             Cycles /*ran*/) const override {

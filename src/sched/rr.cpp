@@ -30,6 +30,13 @@ bool RrScheduler::should_resched_on_tick(const Task* /*current*/,
   return ran_so_far >= params_.rr_quantum;
 }
 
+Cycles RrScheduler::tick_preempt_slack(const Task* /*current*/,
+                                       Cycles ran_so_far) const {
+  // Exact for RR: the quantum is the only trigger should_resched_on_tick
+  // consults, so the remaining slice is a tight bound.
+  return std::max<Cycles>(0, params_.rr_quantum - ran_so_far);
+}
+
 bool RrScheduler::should_preempt_on_wake(const Task* /*woken*/,
                                          const Task* /*current*/,
                                          Cycles /*ran_so_far*/) const {

@@ -22,6 +22,8 @@ class RrScheduler : public Scheduler {
   [[nodiscard]] Cycles timeslice(const Task* task) const override;
   [[nodiscard]] bool should_resched_on_tick(const Task* current,
                                             Cycles ran_so_far) const override;
+  [[nodiscard]] Cycles tick_preempt_slack(const Task* current,
+                                          Cycles ran_so_far) const override;
   [[nodiscard]] bool should_preempt_on_wake(const Task* woken,
                                             const Task* current,
                                             Cycles ran_so_far) const override;

@@ -13,6 +13,10 @@
 
 namespace nfv::sched {
 
+/// Sentinel returned by Scheduler::tick_preempt_slack when no future tick
+/// can preempt the current task (FIFO, or an otherwise idle runqueue).
+inline constexpr Cycles kUnboundedSlack = Cycles{1} << 62;
+
 /// Tunables mirroring the kernel knobs the paper's testbed ran with
 /// (Ubuntu lowlatency 3.19 kernel). All values are in cycles; use
 /// SchedParams::defaults() to build them from a CpuClock.
@@ -63,6 +67,19 @@ class Scheduler {
   /// since this dispatch; `current`'s vruntime is already up to date.
   [[nodiscard]] virtual bool should_resched_on_tick(const Task* current,
                                                     Cycles ran_so_far) const = 0;
+
+  /// Lower bound on how much longer `current` can run before a periodic
+  /// tick's should_resched_on_tick could possibly return true, given it has
+  /// already run `ran_so_far` cycles. Used by Core::preemption_horizon() to
+  /// cap run-to-completion bursts so the next tick-driven preemption still
+  /// lands at the exact cycle it would have without batching. Must be
+  /// conservative (never larger than the true slack); kUnboundedSlack means
+  /// ticks can never reschedule this task. The default is maximally
+  /// conservative: no slack, i.e. the very next tick might preempt.
+  [[nodiscard]] virtual Cycles tick_preempt_slack(const Task* /*current*/,
+                                                  Cycles /*ran_so_far*/) const {
+    return 0;
+  }
 
   /// Should `woken` preempt `current`, which has run `ran_so_far` cycles of
   /// its current stint?

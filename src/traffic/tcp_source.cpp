@@ -15,13 +15,20 @@ TcpSource::TcpSource(sim::Engine& engine, mgr::Manager& manager,
       cwnd_(config.initial_cwnd),
       ssthresh_(config.initial_ssthresh) {}
 
+TcpSource::~TcpSource() {
+  if (pending_ != sim::kInvalidEventId) engine_.cancel(pending_);
+}
+
 void TcpSource::start() {
   manager_.set_egress_sink(flow_id_, [this](const pktio::Mbuf& pkt) {
     ++delivered_total_;
     if (pkt.ecn_marked) ++marks_seen_;
   });
   const Cycles first = std::max(config_.start_time, engine_.now());
-  engine_.schedule_at(first, [this] { send_window(); });
+  pending_ = engine_.schedule_at(first, [this] {
+    pending_ = sim::kInvalidEventId;
+    send_window();
+  });
 }
 
 void TcpSource::send_window() {
@@ -30,10 +37,14 @@ void TcpSource::send_window() {
   window_emitted_ = 0;
   delivered_at_window_start_ = delivered_total_;
   marks_at_window_start_ = marks_seen_;
-  emit_packet();
+  // The window's first packet goes out right now; the rest are paced in
+  // groups of up to `burst` behind it.
+  emit_one(engine_.now());
+  ++window_emitted_;
+  after_emit(engine_.now());
 }
 
-void TcpSource::emit_packet() {
+void TcpSource::emit_one(Cycles arrival) {
   pktio::Mbuf* pkt = pool_.alloc();
   if (pkt != nullptr) {
     pkt->size_bytes = config_.size_bytes;
@@ -41,17 +52,41 @@ void TcpSource::emit_packet() {
     pkt->ecn_capable = config_.ecn_capable;
     pkt->seq = sent_total_;
     ++sent_total_;
-    manager_.ingress(pkt, config_.key);
+    manager_.ingress(pkt, config_.key, arrival);
   }
-  ++window_emitted_;
+}
 
+void TcpSource::emit_group(Cycles first, std::uint32_t count) {
+  pending_ = sim::kInvalidEventId;
+  // Delivered at the group's last pacing slot; each packet still carries
+  // its exact pacing time.
+  const Cycles gap = config_.rtt / window_target_;
+  Cycles t = first;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    emit_one(t);
+    ++window_emitted_;
+    if (i + 1 < count) t += gap;
+  }
+  after_emit(t);
+}
+
+void TcpSource::after_emit(Cycles last_emit) {
   if (window_emitted_ < window_target_) {
     // Pace the window evenly across the RTT.
-    engine_.schedule_after(config_.rtt / window_target_,
-                           [this] { emit_packet(); });
+    const Cycles gap = config_.rtt / window_target_;
+    const std::uint32_t count =
+        std::min(std::max<std::uint32_t>(1, config_.burst),
+                 window_target_ - window_emitted_);
+    const Cycles first = last_emit + gap;
+    const Cycles last = first + static_cast<Cycles>(count - 1) * gap;
+    pending_ = engine_.schedule_at(
+        last, [this, first, count] { emit_group(first, count); });
   } else {
     // Acks for the tail of the window arrive one RTT after it was sent.
-    engine_.schedule_after(config_.rtt, [this] { evaluate_window(); });
+    pending_ = engine_.schedule_after(config_.rtt, [this] {
+      pending_ = sim::kInvalidEventId;
+      evaluate_window();
+    });
   }
 }
 

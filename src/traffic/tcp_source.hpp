@@ -30,10 +30,22 @@ class TcpSource {
     bool ecn_capable = true;
     Cycles start_time = 0;
     Cycles stop_time = -1;
+    /// Packets delivered per pacing event where the window allows: after
+    /// the first packet of a window (emitted at its exact time), groups of
+    /// up to `burst` packets arrive from one callback at the group's last
+    /// pacing slot, each stamped with its exact pacing time. 1 = the
+    /// seed's one-event-per-packet pacing.
+    std::uint32_t burst = 1;
   };
 
   TcpSource(sim::Engine& engine, mgr::Manager& manager, pktio::MbufPool& pool,
             flow::FlowId flow_id, Config config);
+  /// Cancels the pending pacing/ack event — a queued callback must never
+  /// outlive the source it captured.
+  ~TcpSource();
+
+  TcpSource(const TcpSource&) = delete;
+  TcpSource& operator=(const TcpSource&) = delete;
 
   /// Register the egress sink and arm the first window. Call once after
   /// Manager::start().
@@ -47,7 +59,9 @@ class TcpSource {
 
  private:
   void send_window();
-  void emit_packet();
+  void emit_one(Cycles arrival);
+  void emit_group(Cycles first, std::uint32_t count);
+  void after_emit(Cycles last_emit);
   void evaluate_window();
 
   sim::Engine& engine_;
@@ -55,6 +69,7 @@ class TcpSource {
   pktio::MbufPool& pool_;
   flow::FlowId flow_id_;
   Config config_;
+  sim::EventId pending_ = sim::kInvalidEventId;
 
   std::uint32_t cwnd_;
   std::uint32_t ssthresh_;

@@ -15,31 +15,19 @@ UdpSource::UdpSource(sim::Engine& engine, mgr::Manager& manager,
       rng_(config.seed ^ config.key.src_ip) {
   assert(config_.rate_pps > 0.0);
   interval_ = std::max<Cycles>(1, clock.from_seconds(1.0 / config_.rate_pps));
+  batch_.reserve(std::max<std::uint32_t>(1, config_.burst));
+}
+
+UdpSource::~UdpSource() {
+  if (pending_ != sim::kInvalidEventId) engine_.cancel(pending_);
 }
 
 void UdpSource::start() {
-  const Cycles first = std::max(config_.start_time, engine_.now());
-  engine_.schedule_at(first, [this] { emit(); });
+  next_time_ = std::max(config_.start_time, engine_.now());
+  arm();
 }
 
-void UdpSource::emit() {
-  if (config_.stop_time >= 0 && engine_.now() >= config_.stop_time) return;
-
-  pktio::Mbuf* pkt = pool_.alloc();
-  if (pkt == nullptr) {
-    ++alloc_drops_;
-  } else {
-    pkt->size_bytes = config_.size_bytes;
-    pkt->is_tcp = false;
-    pkt->seq = sent_;
-    if (config_.cost_classes > 0) {
-      pkt->cost_class = next_class_;
-      next_class_ = static_cast<std::uint8_t>((next_class_ + 1) %
-                                              config_.cost_classes);
-    }
-    ++sent_;
-    manager_.ingress(pkt, config_.key);
-  }
+Cycles UdpSource::draw_gap() {
   // Zero-mean uniform jitter keeps the long-run rate exact while breaking
   // inter-flow phase locking; Poisson mode draws exponential gaps instead.
   Cycles gap = interval_;
@@ -51,8 +39,49 @@ void UdpSource::emit() {
     gap += static_cast<Cycles>(u * config_.jitter_fraction *
                                static_cast<double>(interval_));
   }
-  if (gap < 1) gap = 1;
-  engine_.schedule_after(gap, [this] { emit(); });
+  return gap < 1 ? 1 : gap;
+}
+
+void UdpSource::arm() {
+  // Lay out the next `burst` arrival times, then draw one further gap for
+  // the batch after this one. Gap j always separates arrivals j and j+1,
+  // so the consumed RNG sequence — and with it every arrival timestamp —
+  // is independent of the burst setting.
+  const std::uint32_t k = std::max<std::uint32_t>(1, config_.burst);
+  batch_.clear();
+  batch_.push_back(next_time_);
+  for (std::uint32_t i = 1; i < k; ++i) {
+    batch_.push_back(batch_.back() + draw_gap());
+  }
+  next_time_ = batch_.back() + draw_gap();
+  pending_ = engine_.schedule_at(batch_.back(), [this] { emit_batch(); });
+}
+
+void UdpSource::emit_batch() {
+  pending_ = sim::kInvalidEventId;
+  for (const Cycles t : batch_) {
+    if (config_.stop_time >= 0 && t >= config_.stop_time) return;  // halt
+    emit_one(t);
+  }
+  arm();
+}
+
+void UdpSource::emit_one(Cycles arrival) {
+  pktio::Mbuf* pkt = pool_.alloc();
+  if (pkt == nullptr) {
+    ++alloc_drops_;
+    return;
+  }
+  pkt->size_bytes = config_.size_bytes;
+  pkt->is_tcp = false;
+  pkt->seq = sent_;
+  if (config_.cost_classes > 0) {
+    pkt->cost_class = next_class_;
+    next_class_ = static_cast<std::uint8_t>((next_class_ + 1) %
+                                            config_.cost_classes);
+  }
+  ++sent_;
+  manager_.ingress(pkt, config_.key, arrival);
 }
 
 }  // namespace nfv::traffic

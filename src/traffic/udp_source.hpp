@@ -2,12 +2,17 @@
 //
 // The paper's generators emit constant-rate flows of configurable packet
 // size — 64-byte packets at 10 Gb/s line rate is 14.88 Mpps (§4.1). This
-// source schedules one arrival event per packet at the configured rate and
-// hands packets to the NF Manager's Rx path. Being open loop, it never
-// backs off: exactly the "non-responsive" traffic backpressure exists for.
+// source pre-draws `burst` inter-arrival gaps per timer event and delivers
+// that many ingress calls — each stamped with its exact per-packet arrival
+// time — from one callback, then re-arms at the last arrival. The gap
+// sequence consumed is identical at any burst setting, so burst=1
+// reproduces the seed's one-event-per-packet schedule exactly. Being open
+// loop, it never backs off: exactly the "non-responsive" traffic
+// backpressure exists for.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "mgr/manager.hpp"
@@ -38,10 +43,19 @@ class UdpSource {
     /// rate) instead of jittered CBR — burstier, for sensitivity studies.
     bool poisson = false;
     std::uint64_t seed = 0x9e3779b9ULL;
+    /// Arrivals delivered per timer event (1 = one event per packet, the
+    /// seed behaviour). Timestamps are exact at any setting.
+    std::uint32_t burst = 1;
   };
 
   UdpSource(sim::Engine& engine, mgr::Manager& manager, pktio::MbufPool& pool,
             const CpuClock& clock, Config config);
+  /// Cancels any pending emit event — a queued callback must never outlive
+  /// the source it captured.
+  ~UdpSource();
+
+  UdpSource(const UdpSource&) = delete;
+  UdpSource& operator=(const UdpSource&) = delete;
 
   /// Arm the first arrival. Call once after Manager::start().
   void start();
@@ -50,7 +64,10 @@ class UdpSource {
   [[nodiscard]] std::uint64_t alloc_drops() const { return alloc_drops_; }
 
  private:
-  void emit();
+  void arm();
+  void emit_batch();
+  void emit_one(Cycles arrival);
+  [[nodiscard]] Cycles draw_gap();
 
   sim::Engine& engine_;
   mgr::Manager& manager_;
@@ -58,6 +75,12 @@ class UdpSource {
   Config config_;
   Cycles interval_;
   Rng rng_;
+  /// Arrival timestamps of the armed batch, and the first arrival of the
+  /// batch after it (its gap is drawn at arming time so the consumed gap
+  /// sequence never depends on the burst setting).
+  std::vector<Cycles> batch_;
+  Cycles next_time_ = 0;
+  sim::EventId pending_ = sim::kInvalidEventId;
   std::uint64_t sent_ = 0;
   std::uint64_t alloc_drops_ = 0;
   std::uint8_t next_class_ = 0;

@@ -31,7 +31,8 @@ Accounting account(Simulation& sim, const std::vector<flow::NfId>& nfs,
   for (const auto nf : nfs) {
     const auto m = sim.nf_metrics(nf);
     a.rx_full_drops += m.rx_full_drops;
-    a.in_queues += sim.nf(nf).rx_ring().size() + sim.nf(nf).tx_ring().size();
+    a.in_queues += sim.nf(nf).rx_ring().size() + sim.nf(nf).tx_ring().size() +
+                   sim.nf(nf).in_flight_packets();
     a.handler_drops += sim.nf(nf).counters().handler_drops;
   }
   return a;

@@ -106,8 +106,9 @@ RunResult run(const RandomTopology& topo, double secs) {
   }
   for (flow::NfId id = 0; id < sim.nf_count(); ++id) {
     result.rx_full_drops += sim.nf_metrics(id).rx_full_drops;
-    result.in_queues +=
-        sim.nf(id).rx_ring().size() + sim.nf(id).tx_ring().size();
+    result.in_queues += sim.nf(id).rx_ring().size() +
+                        sim.nf(id).tx_ring().size() +
+                        sim.nf(id).in_flight_packets();
     result.nf_runtime.push_back(sim.nf_metrics(id).runtime);
   }
   return result;

@@ -228,6 +228,72 @@ TEST_F(NfTaskTest, PreemptionPreservesInFlightPacket) {
   while (pktio::Mbuf* m = nf->tx_ring().dequeue()) pool_.free(m);
 }
 
+TEST_F(NfTaskTest, WakePreemptionSplitsBurstAndResumesExactly) {
+  // A whole burst is scheduled as one completion event; a wakeup preemption
+  // lands *inside* it (the horizon only covers tick-driven preemptions).
+  // The split must finalize exactly the packets whose virtual completion
+  // time has passed and carry the interrupted packet's residue forward.
+  auto params = sched::SchedParams::defaults(CpuClock{});
+  sched::CoreConfig ccfg;
+  ccfg.context_switch_cost = 0;
+  // CFS NORMAL: wakeup preemption enabled.
+  sched::Core normal_core(
+      engine_,
+      std::make_unique<sched::CfsScheduler>(params, /*batch=*/false), ccfg,
+      "normal");
+  auto cfg = basic_config(200'000);
+  cfg.burst_window = 4;
+  auto nf = std::make_unique<NfTask>(engine_, cfg);
+  normal_core.add_task(nf.get());
+  nf->set_packet_release([this](pktio::Mbuf* m) { pool_.free(m); });
+  for (int i = 0; i < 4; ++i) {
+    pktio::Mbuf* m = pool_.alloc();
+    m->enqueue_time = 0;
+    nf->rx_ring().enqueue(m);
+    nf->note_arrival();
+  }
+
+  // Sleeper with a large vruntime deficit wakes mid-burst: packets 1-2
+  // (done at 200k, 400k) are complete, packet 3 (due 600k) is in flight.
+  class Sleeper : public sched::Task {
+   public:
+    Sleeper(sim::Engine& engine) : Task("sleeper"), engine_(engine) {}
+    void on_dispatch(Cycles) override {
+      engine_.schedule_after(10'000, [this] {
+        core()->yield_current(this, /*will_block=*/true);
+      });
+    }
+    void on_preempt(Cycles) override {}
+
+   private:
+    sim::Engine& engine_;
+  } sleeper(engine_);
+  normal_core.add_task(&sleeper);
+
+  normal_core.wake(nf.get());
+  engine_.schedule_at(500'000, [&] { normal_core.wake(&sleeper); });
+  engine_.run_until(450'000);
+  // Mid-burst, pre-wake: the burst is one pending event, nothing finalized.
+  EXPECT_EQ(nf->counters().processed, 0u);
+  EXPECT_EQ(nf->in_flight_packets(), 4u);
+
+  engine_.run_until(600'000);
+  // The 500k wake preempted the burst: exactly the packets whose virtual
+  // completion passed (200k, 400k) are finalized; 600k/800k are in flight.
+  EXPECT_EQ(nf->counters().processed, 2u);
+  EXPECT_EQ(nf->in_flight_packets(), 2u);
+
+  engine_.run_until(CpuClock{}.from_millis(2));
+  EXPECT_EQ(nf->counters().processed, 4u);
+  EXPECT_EQ(nf->counters().forwarded, 4u);
+  EXPECT_EQ(nf->in_flight_packets(), 0u);
+  // Total runtime is exact despite the split: 4 x 200k, no double-charge
+  // for the interrupted packet's already-burned 100k.
+  EXPECT_EQ(nf->stats().runtime, 4 * 200'000);
+  EXPECT_EQ(nf->stats().involuntary_switches, 1u);
+  while (pktio::Mbuf* m = nf->tx_ring().dequeue()) pool_.free(m);
+}
+
 TEST_F(NfTaskTest, ServiceTimeEstimateTracksCost) {
   auto cfg = basic_config(550);
   cfg.sample_interval = 100;  // sample aggressively for the test

@@ -65,6 +65,88 @@ TEST(MbufPool, CapacityReported) {
   EXPECT_EQ(pool.in_use(), 0u);
 }
 
+TEST(MbufPool, AllocBurstAllOrNothing) {
+  MbufPool pool(8);
+  Mbuf* bufs[8] = {};
+  EXPECT_EQ(pool.alloc_burst(bufs, 8), 8u);
+  EXPECT_EQ(pool.in_use(), 8u);
+  std::set<Mbuf*> seen(bufs, bufs + 8);
+  EXPECT_EQ(seen.size(), 8u);
+  EXPECT_EQ(seen.count(nullptr), 0u);
+  // Pool exhausted: a burst of any size fails whole, counting one failure.
+  Mbuf* more[2] = {};
+  EXPECT_EQ(pool.alloc_burst(more, 2), 0u);
+  EXPECT_EQ(more[0], nullptr);
+  EXPECT_EQ(pool.alloc_failures(), 1u);
+  pool.free_burst(bufs, 8);
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(MbufPool, AllocBurstPartialPoolRefusesOversizedBurst) {
+  MbufPool pool(4);
+  Mbuf* a = pool.alloc();
+  ASSERT_NE(a, nullptr);
+  Mbuf* bufs[4] = {};
+  // 3 free < 4 requested: all-or-nothing means nothing.
+  EXPECT_EQ(pool.alloc_burst(bufs, 4), 0u);
+  EXPECT_EQ(pool.in_use(), 1u);
+  EXPECT_EQ(pool.alloc_burst(bufs, 3), 3u);
+  EXPECT_EQ(pool.in_use(), 4u);
+  pool.free(a);
+  pool.free_burst(bufs, 3);
+}
+
+TEST(MbufPool, BurstAndSingleAllocInterleave) {
+  MbufPool pool(16);
+  Mbuf* burst[4] = {};
+  ASSERT_EQ(pool.alloc_burst(burst, 4), 4u);
+  Mbuf* single = pool.alloc();
+  ASSERT_NE(single, nullptr);
+  pool.free_burst(burst, 4);
+  EXPECT_EQ(pool.in_use(), 1u);
+  Mbuf* again[5] = {};
+  EXPECT_EQ(pool.alloc_burst(again, 5), 5u);
+  pool.free(single);
+  pool.free_burst(again, 5);
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+TEST(MbufPool, AllocBurstResetsMetadata) {
+  MbufPool pool(2);
+  Mbuf* m = pool.alloc();
+  m->flow_id = 9;
+  m->ecn_marked = true;
+  pool.free(m);
+  Mbuf* bufs[2] = {};
+  ASSERT_EQ(pool.alloc_burst(bufs, 2), 2u);
+  for (Mbuf* b : bufs) {
+    EXPECT_EQ(b->flow_id, 0u);
+    EXPECT_FALSE(b->ecn_marked);
+  }
+  pool.free_burst(bufs, 2);
+}
+
+#ifndef NDEBUG
+using MbufPoolDeathTest = ::testing::Test;
+
+TEST(MbufPoolDeathTest, DoubleFreeAssertsInDebugBuilds) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  MbufPool pool(2);
+  Mbuf* m = pool.alloc();
+  pool.free(m);
+  EXPECT_DEATH(pool.free(m), "double free");
+}
+
+TEST(MbufPoolDeathTest, BurstDoubleFreeAssertsInDebugBuilds) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  MbufPool pool(4);
+  Mbuf* bufs[2] = {};
+  ASSERT_EQ(pool.alloc_burst(bufs, 2), 2u);
+  Mbuf* dup[2] = {bufs[0], bufs[0]};  // same mbuf twice in one burst
+  EXPECT_DEATH(pool.free_burst(dup, 2), "double free");
+}
+#endif
+
 TEST(MbufPool, ChurnDoesNotLeak) {
   MbufPool pool(8);
   for (int round = 0; round < 1000; ++round) {

@@ -71,6 +71,33 @@ TEST(Ring, DequeueBurst) {
   EXPECT_EQ(r.dequeue_burst(out, 32), 0u);
 }
 
+TEST(Ring, EnqueueBurstAcceptsWhatFits) {
+  Ring r(8);
+  Mbuf* in[6] = {fake(1), fake(2), fake(3), fake(4), fake(5), fake(6)};
+  EXPECT_EQ(r.enqueue_burst(in, 6), 6u);
+  EXPECT_EQ(r.size(), 6u);
+  // Only 2 slots left: the burst is truncated, not rejected.
+  Mbuf* more[4] = {fake(7), fake(8), fake(9), fake(10)};
+  EXPECT_EQ(r.enqueue_burst(more, 4), 2u);
+  EXPECT_TRUE(r.full());
+  EXPECT_EQ(r.enqueue_burst(more, 4), 0u);
+  EXPECT_EQ(r.total_enqueued(), 8u);
+  for (std::uintptr_t i = 1; i <= 8; ++i) EXPECT_EQ(r.dequeue(), fake(i));
+}
+
+TEST(Ring, EnqueueBurstWrapsAround) {
+  Ring r(4);
+  Mbuf* first[3] = {fake(1), fake(2), fake(3)};
+  ASSERT_EQ(r.enqueue_burst(first, 3), 3u);
+  EXPECT_EQ(r.dequeue(), fake(1));
+  EXPECT_EQ(r.dequeue(), fake(2));
+  // Tail wraps past the end of the storage array.
+  Mbuf* second[3] = {fake(4), fake(5), fake(6)};
+  ASSERT_EQ(r.enqueue_burst(second, 3), 3u);
+  for (std::uintptr_t i = 3; i <= 6; ++i) EXPECT_EQ(r.dequeue(), fake(i));
+  EXPECT_TRUE(r.empty());
+}
+
 TEST(Ring, WrapAroundKeepsOrder) {
   Ring r(4);
   // Repeatedly push/pop so indices wrap many times.

@@ -6,6 +6,7 @@
 
 #include "common/time.hpp"
 #include "sched/cfs.hpp"
+#include "sched/fifo.hpp"
 #include "sched/rr.hpp"
 #include "sim/engine.hpp"
 #include "test_tasks.hpp"
@@ -261,6 +262,102 @@ TEST(Core, PreemptionMidWorkResumesCorrectly) {
   EXPECT_EQ(big.completions(), 1);
   EXPECT_EQ(big.stats().runtime, CpuClock{}.from_micros(450));
   EXPECT_GE(big.stats().involuntary_switches, 4u);
+}
+
+// -- preemption_horizon -------------------------------------------------------
+// The horizon tells a running task how far it can batch work without
+// overshooting a tick-driven preemption (see DESIGN.md §9). It must be a
+// tick-grid time and never earlier than the policy's guaranteed slack.
+
+TEST(Core, HorizonUnboundedWhenIdle) {
+  sim::Engine engine;
+  auto core = make_core(engine, true, 0);
+  HogTask t("t");
+  core->add_task(&t);  // blocked, never dispatched
+  EXPECT_EQ(core->preemption_horizon(), kUnboundedSlack);
+}
+
+TEST(Core, HorizonUnboundedWithoutCompetitors) {
+  sim::Engine engine;
+  auto core = make_core(engine, true, 0);
+  HogTask t("t");
+  core->add_task(&t);
+  core->wake(&t);
+  engine.run_until(10);  // t running, queue empty
+  EXPECT_EQ(core->preemption_horizon(), kUnboundedSlack);
+}
+
+TEST(Core, HorizonUnboundedUnderFifo) {
+  sim::Engine engine;
+  CoreConfig cfg;
+  cfg.context_switch_cost = 0;
+  Core core(engine, std::make_unique<FifoScheduler>(), cfg, "fifo");
+  HogTask a("a");
+  HogTask b("b");
+  core.add_task(&a);
+  core.add_task(&b);
+  core.wake(&a);
+  core.wake(&b);
+  engine.run_until(10);  // a running, b queued: FIFO never tick-preempts
+  EXPECT_EQ(core.preemption_horizon(), kUnboundedSlack);
+}
+
+TEST(Core, HorizonIsQuantumRoundedToTickUnderRr) {
+  sim::Engine engine;
+  auto params = SchedParams::defaults(CpuClock{});
+  params.rr_quantum = 5'000'000;
+  CoreConfig cfg;
+  cfg.context_switch_cost = 0;  // tick_period stays at the default 2.6M
+  Core core(engine, std::make_unique<RrScheduler>(params), cfg, "rr");
+  HogTask a("a");
+  HogTask b("b");
+  core.add_task(&a);
+  core.add_task(&b);
+  core.wake(&a);
+  core.wake(&b);
+  engine.run_until(10);
+  // Quantum expires at ~5.0M; the first tick at/after that is 2 * 2.6M.
+  EXPECT_EQ(core.preemption_horizon(), 5'200'000);
+}
+
+TEST(Core, HorizonIsMinGranularityTickUnderCfs) {
+  sim::Engine engine;
+  auto core = make_core(engine, true, 0);
+  HogTask a("a");
+  HogTask b("b");
+  core->add_task(&a);
+  core->add_task(&b);
+  core->wake(&a);
+  core->wake(&b);
+  engine.run_until(10);
+  // min_granularity (1.95M) guards the slice; the tick after it is 2.6M.
+  // Past min_granularity CFS claims no slack (the vruntime clause may fire
+  // on any tick), so the horizon is exactly the first eligible tick.
+  EXPECT_EQ(core->preemption_horizon(), 2'600'000);
+}
+
+TEST(Core, HorizonStableAcrossStint) {
+  sim::Engine engine;
+  auto params = SchedParams::defaults(CpuClock{});
+  params.rr_quantum = 50'000'000;  // long quantum: several ticks pass first
+  CoreConfig cfg;
+  cfg.context_switch_cost = 0;
+  Core core(engine, std::make_unique<RrScheduler>(params), cfg, "rr");
+  HogTask a("a");
+  HogTask b("b");
+  core.add_task(&a);
+  core.add_task(&b);
+  core.wake(&a);
+  core.wake(&b);
+  engine.run_until(10);
+  const Cycles early = core.preemption_horizon();
+  engine.run_until(10'000'000);  // a few ticks later, quantum still running
+  const Cycles later = core.preemption_horizon();
+  // The RR target is stint_start + quantum, invariant as ticks pass: the
+  // slack shrinks exactly as fast as `now` advances.
+  EXPECT_EQ(later, early);
+  EXPECT_EQ(later % 2'600'000, 0);  // on the tick grid
+  EXPECT_GE(later, 50'000'000);     // never before the quantum expires
 }
 
 }  // namespace

@@ -10,6 +10,25 @@ namespace {
 using core::SchedPolicy;
 using core::Simulation;
 
+TEST(TcpSource, DestructorCancelsPendingEvent) {
+  Simulation sim;
+  const auto core_id = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto nf = sim.add_nf("nf", core_id, nf::CostModel::fixed(100));
+  const auto chain = sim.add_chain("c", {nf});
+  sim.add_udp_flow(chain, 1e6);
+  sim.run_for_seconds(0.001);
+  {
+    TcpSource::Config cfg;
+    cfg.key.proto = pktio::kProtoTcp;
+    TcpSource doomed(sim.engine(), sim.manager(), sim.pool(),
+                     /*flow_id=*/999, cfg);
+    doomed.start();  // schedules the first-window event at `now`
+    EXPECT_EQ(doomed.packets_sent(), 0u);
+  }  // destroyed before the event fires: must cancel, not dangle
+  sim.run_for_seconds(0.001);  // engine keeps running cleanly
+  EXPECT_GT(sim.manager().wire_ingress(), 0u);
+}
+
 TEST(TcpSource, RampsUpOnUncongestedPath) {
   Simulation sim;
   const auto core_id = sim.add_core(SchedPolicy::kCfsBatch);

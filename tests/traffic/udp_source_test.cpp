@@ -15,6 +15,31 @@ Simulation make_single_nf_sim(core::PlatformConfig cfg = {}) {
   return Simulation(cfg);
 }
 
+TEST(UdpSource, DestructorCancelsPendingEvent) {
+  Simulation sim = make_single_nf_sim();
+  const auto core_id = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto nf = sim.add_nf("nf", core_id, nf::CostModel::fixed(10));
+  const auto chain = sim.add_chain("c", {nf});
+  sim.add_udp_flow(chain, 1e6);
+  sim.run_for_seconds(0.001);
+  const auto ingress_before = sim.manager().wire_ingress();
+  {
+    UdpSource::Config cfg;
+    cfg.rate_pps = 1e6;
+    cfg.burst = 4;
+    UdpSource doomed(sim.engine(), sim.manager(), sim.pool(), sim.clock(),
+                     cfg);
+    doomed.start();  // arms an emit event in the engine's queue
+    EXPECT_EQ(doomed.packets_sent(), 0u);
+  }  // destroyed with the event still pending: must cancel, not dangle
+  sim.run_for_seconds(0.001);
+  // Only the simulation's own flow kept emitting (~1k packets per ms); the
+  // destroyed source contributed nothing.
+  EXPECT_NEAR(
+      static_cast<double>(sim.manager().wire_ingress() - ingress_before),
+      1'000.0, 100.0);
+}
+
 TEST(UdpSource, RateIsHonoured) {
   Simulation sim;
   const auto core_id = sim.add_core(SchedPolicy::kCfsBatch);

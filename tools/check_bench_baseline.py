@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compare the performance benches against the committed baseline.
+
+Runs the two serial microbenches and checks their headline throughput
+numbers against BENCH_baseline.json, failing when any metric regresses by
+more than the tolerance (default 20%). Both metrics are
+higher-is-better:
+
+  engine_events_per_sec          micro_engine's aggregate event throughput
+  substrate_sim_ms_per_wall_ms   simulated ms per wall-clock ms of the
+                                 fig. 7 chain (micro_substrate's
+                                 BM_EndToEndChainMillisecond)
+
+Regenerate the baseline (e.g. on a hardware change or an accepted perf
+shift) with --update. CI machines are noisy, hence the wide tolerance;
+the baseline was captured on an idle box, so a genuine 20% regression is
+well outside run-to-run jitter of these serial benches.
+
+Usage:
+  tools/check_bench_baseline.py --build-dir build-release [--update]
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_baseline.json"
+
+
+def run_micro_engine(binary: pathlib.Path) -> float:
+    out = subprocess.run([str(binary), "--json"], check=True,
+                         capture_output=True, text=True).stdout
+    return float(json.loads(out)["events_per_sec"])
+
+
+def run_micro_substrate(binary: pathlib.Path, repetitions: int) -> float:
+    out = subprocess.run(
+        [
+            str(binary),
+            "--benchmark_filter=^BM_EndToEndChainMillisecond$",
+            f"--benchmark_repetitions={repetitions}",
+            "--benchmark_report_aggregates_only=true",
+            "--benchmark_format=json",
+        ],
+        check=True, capture_output=True, text=True).stdout
+    for bench in json.loads(out)["benchmarks"]:
+        if bench.get("aggregate_name") == "mean":
+            # real_time is ms of wall per iteration; one iteration
+            # simulates one millisecond.
+            return 1.0 / float(bench["real_time"])
+    raise RuntimeError("no mean aggregate in micro_substrate output")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", type=pathlib.Path,
+                        default=REPO_ROOT / "build-release",
+                        help="CMake build dir containing bench/ binaries")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional regression (default 0.20)")
+    parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline instead of checking")
+    args = parser.parse_args()
+
+    bench_dir = args.build_dir / "bench"
+    current = {
+        "engine_events_per_sec":
+            run_micro_engine(bench_dir / "micro_engine"),
+        "substrate_sim_ms_per_wall_ms":
+            run_micro_substrate(bench_dir / "micro_substrate",
+                                args.repetitions),
+    }
+
+    if args.update:
+        args.baseline.write_text(
+            json.dumps({"metrics": current}, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {args.baseline}")
+        for name, value in sorted(current.items()):
+            print(f"  {name}: {value:.4g}")
+        return 0
+
+    baseline = json.loads(args.baseline.read_text())["metrics"]
+    failed = False
+    for name, base in sorted(baseline.items()):
+        now = current[name]
+        floor = base * (1.0 - args.tolerance)
+        verdict = "OK" if now >= floor else "REGRESSION"
+        failed |= now < floor
+        print(f"{verdict:>10}  {name}: {now:.4g} "
+              f"(baseline {base:.4g}, floor {floor:.4g})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
