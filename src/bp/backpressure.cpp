@@ -96,6 +96,7 @@ ThrottleState BackpressureManager::evaluate(flow::NfId nf,
       }
       break;
     case ThrottleState::kThrottle:
+      if (st.forced_dead) break;  // dead NF: pinned until clear_dead()
       if (rx_ring.below_low_watermark()) {
         st.state = ThrottleState::kClear;
         ++stats_.throttle_clears;
@@ -106,6 +107,28 @@ ThrottleState BackpressureManager::evaluate(flow::NfId nf,
       break;
   }
   return st.state;
+}
+
+void BackpressureManager::force_dead(flow::NfId nf, Cycles now) {
+  if (nf >= states_.size()) return;
+  NfState& st = states_[nf];
+  if (st.forced_dead) return;
+  st.forced_dead = true;
+  if (st.state != ThrottleState::kThrottle) {
+    const ThrottleState from = st.state;
+    st.state = ThrottleState::kThrottle;
+    ++stats_.throttle_entries;
+    enter_throttle(nf);
+    note_transition(nf, from, ThrottleState::kThrottle, /*queue_len=*/0, now);
+  }
+}
+
+void BackpressureManager::clear_dead(flow::NfId nf, Cycles now) {
+  (void)now;
+  if (nf >= states_.size()) return;
+  states_[nf].forced_dead = false;
+  // No transition here: the state stays Throttle and the next evaluate()
+  // pass applies the ordinary hysteresis (clear below the low watermark).
 }
 
 void BackpressureManager::enter_throttle(flow::NfId nf) {

@@ -67,6 +67,23 @@ class BackpressureManager {
   /// current RX ring occupancy. Returns the (possibly new) state.
   ThrottleState evaluate(flow::NfId nf, const pktio::Ring& rx_ring, Cycles now);
 
+  /// Fault-model hook (DESIGN.md §11): the NF's process died. Pin its
+  /// state to Throttle — a dead NF is treated exactly like a queue stuck
+  /// over the high watermark, shedding its chains at the system entry —
+  /// and latch it there so evaluate() cannot clear it while the process is
+  /// gone (its queue length is meaningless: nothing dequeues).
+  void force_dead(flow::NfId nf, Cycles now);
+
+  /// The NF came back. Drops the latch only: the state *remains* Throttle
+  /// until the normal Fig. 4 hysteresis clears it, i.e. entry discard
+  /// continues until the revived NF drains its backlog below the low
+  /// watermark. Recovery composes with congestion control for free.
+  void clear_dead(flow::NfId nf, Cycles now);
+
+  [[nodiscard]] bool forced_dead(flow::NfId nf) const {
+    return states_[nf].forced_dead;
+  }
+
   [[nodiscard]] ThrottleState state(flow::NfId nf) const {
     return states_[nf].state;
   }
@@ -85,6 +102,8 @@ class BackpressureManager {
  private:
   struct NfState {
     ThrottleState state = ThrottleState::kClear;
+    /// Dead-NF latch: while set, evaluate() leaves the state at Throttle.
+    bool forced_dead = false;
     // Per-NF transition counters (null until observability is attached).
     obs::Counter* watch_entries = nullptr;
     obs::Counter* throttle_entries = nullptr;

@@ -3,6 +3,9 @@
 #include <sstream>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
+#include "fault/lifecycle.hpp"
+
 namespace nfv::config {
 
 namespace {
@@ -43,6 +46,7 @@ double parse_double(int line, const std::string& value, const std::string& what)
 
 Topology load(std::istream& in, core::Simulation& sim) {
   Topology topo;
+  fault::FaultPlan plan;
   std::string line;
   int line_no = 0;
   int udp_count = 0;
@@ -188,10 +192,87 @@ Topology load(std::istream& in, core::Simulation& sim) {
             sim.add_tcp_flow(it->second, tcp_opts).first;
       }
 
+    } else if (verb == "fault") {
+      if (tokens.size() < 3) {
+        throw ConfigError(line_no,
+                          "fault takes a kind, an nf and key=value options");
+      }
+      const std::string& kind = tokens[1];
+      const auto it = topo.nfs.find(tokens[2]);
+      if (it == topo.nfs.end()) {
+        throw ConfigError(line_no, "unknown nf '" + tokens[2] + "'");
+      }
+      double at_s = -1.0;
+      double restart_s = -1.0;
+      double factor = 0.0;
+      double for_s = 0.0;
+      bool have_factor = false;
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        std::string key, value;
+        if (!split_kv(tokens[i], key, value)) {
+          throw ConfigError(line_no, "expected key=value, got '" + tokens[i] + "'");
+        }
+        const double parsed = parse_double(line_no, value, key);
+        if (key == "at") {
+          at_s = parsed;
+        } else if (key == "restart_after") {
+          restart_s = parsed;
+        } else if (key == "factor") {
+          factor = parsed;
+          have_factor = true;
+        } else if (key == "for") {
+          for_s = parsed;
+        } else {
+          throw ConfigError(line_no, "unknown fault option '" + key + "'");
+        }
+      }
+      if (at_s < 0.0) throw ConfigError(line_no, "fault needs at=<seconds>");
+      const Cycles at = sim.clock().from_seconds(at_s);
+      const Cycles restart = restart_s < 0.0
+                                 ? fault::kDefaultRestart
+                                 : sim.clock().from_seconds(restart_s);
+      if (kind == "slow" && !have_factor) {
+        throw ConfigError(line_no, "fault slow needs factor=<x>");
+      }
+      try {
+        if (kind == "crash") {
+          plan.add_crash(it->second, at, restart);
+        } else if (kind == "stall") {
+          plan.add_stall(it->second, at, restart);
+        } else if (kind == "slow") {
+          plan.add_degrade(it->second, at, factor,
+                           sim.clock().from_seconds(for_s));
+        } else {
+          throw ConfigError(line_no, "unknown fault kind '" + kind + "'");
+        }
+      } catch (const fault::FaultError& e) {
+        throw ConfigError(line_no, e.what());
+      }
+
+    } else if (verb == "on_dead") {
+      if (tokens.size() != 3) {
+        throw ConfigError(line_no, "on_dead takes a chain and a policy");
+      }
+      const auto it = topo.chains.find(tokens[1]);
+      if (it == topo.chains.end()) {
+        throw ConfigError(line_no, "unknown chain '" + tokens[1] + "'");
+      }
+      const std::string& policy = tokens[2];
+      if (policy == "backpressure") {
+        sim.set_dead_policy(it->second, fault::DeadNfPolicy::kBackpressure);
+      } else if (policy == "bypass") {
+        sim.set_dead_policy(it->second, fault::DeadNfPolicy::kBypass);
+      } else if (policy == "buffer") {
+        sim.set_dead_policy(it->second, fault::DeadNfPolicy::kBuffer);
+      } else {
+        throw ConfigError(line_no, "unknown dead-NF policy '" + policy + "'");
+      }
+
     } else {
       throw ConfigError(line_no, "unknown directive '" + verb + "'");
     }
   }
+  if (!plan.empty()) sim.set_fault_plan(std::move(plan));
   return topo;
 }
 

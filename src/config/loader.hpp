@@ -14,8 +14,15 @@
 //   chain web nat0 dpi0
 //   udp web rate=6e6 size=64 start=0 stop=1.5
 //   tcp web size=1500 rtt_us=200
+//   fault crash dpi0 at=0.5 restart_after=0.01   # fault model, DESIGN.md §11
+//   fault stall nat0 at=0.2                      # watchdog-killed straggler
+//   fault slow dpi0 at=0.1 factor=3 for=0.2      # 3x service time for 200 ms
+//   on_dead web bypass                           # or: backpressure | buffer
 //
-// Identifiers are declared before use; errors carry line numbers.
+// Identifiers are declared before use; errors carry line numbers. Fault
+// times are validated as the plan is built (negative times, non-positive
+// restart delays or factors, and overlapping fault windows on one NF are
+// rejected with the offending line).
 #pragma once
 
 #include <iosfwd>

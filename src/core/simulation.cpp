@@ -36,6 +36,7 @@ NfMetrics NfMetrics::operator-(const NfMetrics& rhs) const {
   d.downstream_drops -= rhs.downstream_drops;
   d.voluntary_switches -= rhs.voluntary_switches;
   d.involuntary_switches -= rhs.involuntary_switches;
+  d.crash_drops -= rhs.crash_drops;
   d.runtime -= rhs.runtime;
   return d;
 }
@@ -133,6 +134,13 @@ io::AsyncIoEngine& Simulation::attach_io(flow::NfId nf_id,
   return *io_engines_.back();
 }
 
+void Simulation::set_fault_plan(fault::FaultPlan plan) {
+  assert(!started_ && "install the fault plan before the first run");
+  assert(!injector_ && "only one fault plan per simulation");
+  manager_->enable_lifecycle();
+  injector_ = std::make_unique<fault::FaultInjector>(engine_, std::move(plan));
+}
+
 io::BlockDevice& Simulation::disk() {
   if (!disk_) disk_ = std::make_unique<io::BlockDevice>(engine_);
   return *disk_;
@@ -200,6 +208,7 @@ void Simulation::ensure_started() {
   if (started_) return;
   started_ = true;
   manager_->start();
+  if (injector_) injector_->arm(*manager_);
   for (auto& src : udp_sources_) src->start();
   for (auto& src : tcp_sources_) src->start();
 }
@@ -224,6 +233,7 @@ NfMetrics Simulation::nf_metrics(flow::NfId id) const {
   m.downstream_drops = mc.downstream_drops;
   m.voluntary_switches = task.stats().voluntary_switches;
   m.involuntary_switches = task.stats().involuntary_switches;
+  m.crash_drops = task.counters().crash_drops;
   m.runtime = task.stats().runtime;
   m.avg_sched_latency_ms =
       clock_.to_millis(static_cast<Cycles>(task.stats().avg_sched_latency_cycles()));
@@ -254,6 +264,7 @@ void Simulation::attach_trace(obs::TraceRecorder& recorder) {
   }
   recorder.set_lane_name(obs::kManagerLane, "nf-manager");
   recorder.set_lane_name(obs::kBackpressureLane, "backpressure");
+  recorder.set_lane_name(obs::kLifecycleLane, "lifecycle");
   obs_.attach_trace(&recorder);
 }
 
@@ -288,10 +299,24 @@ void Simulation::report_json(std::ostream& out) const {
     w.field("downstream_drops", m.downstream_drops);
     w.field("voluntary_switches", m.voluntary_switches);
     w.field("involuntary_switches", m.involuntary_switches);
+    w.field("crash_drops", m.crash_drops);
     w.field("runtime_cycles", static_cast<std::int64_t>(m.runtime));
     w.field("cpu_share", nf_cpu_share(id));
     w.field("avg_sched_latency_ms", m.avg_sched_latency_ms);
     w.field("rx_queue_len", m.rx_queue_len);
+    if (manager_->config().lifecycle.enabled) {
+      const auto& ls = manager_->nf_lifecycle_stats(id);
+      w.key("lifecycle");
+      w.begin_object();
+      w.field("state",
+              std::string_view(fault::to_string(manager_->nf_lifecycle(id))));
+      w.field("crashes", ls.crashes);
+      w.field("forced_crashes", ls.forced_crashes);
+      w.field("restarts", ls.restarts);
+      w.field("recoveries", ls.recoveries);
+      w.field("downtime_cycles", static_cast<std::int64_t>(ls.downtime_cycles));
+      w.end_object();
+    }
     w.end_object();
   }
   w.end_array();

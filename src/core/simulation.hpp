@@ -24,6 +24,9 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "fault/lifecycle.hpp"
 #include "flow/flow_table.hpp"
 #include "flow/service_chain.hpp"
 #include "io/async_io.hpp"
@@ -137,6 +140,8 @@ struct NfMetrics {
   std::uint64_t downstream_drops = 0;
   std::uint64_t voluntary_switches = 0;
   std::uint64_t involuntary_switches = 0;
+  /// In-flight burst packets lost to a crash (fault model, DESIGN.md §11).
+  std::uint64_t crash_drops = 0;
   Cycles runtime = 0;
   double avg_sched_latency_ms = 0.0;
   std::uint64_t rx_queue_len = 0;
@@ -177,6 +182,27 @@ class Simulation {
   /// Attach an async I/O engine (shared simulated disk) to an NF.
   io::AsyncIoEngine& attach_io(flow::NfId nf,
                                io::AsyncIoEngine::Config io_config);
+
+  // -- faults (DESIGN.md §11) -------------------------------------------------
+  /// Install a fault plan: enables the manager's lifecycle watchdog and
+  /// arms an injector that fires the plan's crash/stall/degrade events at
+  /// their scheduled times. Call before the first run_for_seconds(). A
+  /// simulation without a plan schedules no watchdog events at all, so
+  /// unfaulted runs replay byte-for-byte against earlier versions.
+  void set_fault_plan(fault::FaultPlan plan);
+
+  /// Per-chain policy while an NF on the chain is down (default: the
+  /// LifecycleConfig's default_dead_policy, i.e. backpressure).
+  void set_dead_policy(flow::ChainId chain, fault::DeadNfPolicy policy) {
+    manager_->set_dead_policy(chain, policy);
+  }
+  [[nodiscard]] fault::NfLifecycle nf_lifecycle(flow::NfId id) const {
+    return manager_->nf_lifecycle(id);
+  }
+  [[nodiscard]] const fault::NfLifecycleStats& nf_lifecycle_stats(
+      flow::NfId id) const {
+    return manager_->nf_lifecycle_stats(id);
+  }
 
   // -- traffic ---------------------------------------------------------------
   flow::FlowId add_udp_flow(flow::ChainId chain, double rate_pps,
@@ -247,6 +273,7 @@ class Simulation {
   std::vector<std::unique_ptr<sched::Core>> cores_;
   std::vector<std::unique_ptr<nf::NfTask>> nfs_;
   std::unique_ptr<mgr::Manager> manager_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<io::BlockDevice> disk_;
   std::vector<std::unique_ptr<io::AsyncIoEngine>> io_engines_;
   std::vector<std::unique_ptr<traffic::UdpSource>> udp_sources_;

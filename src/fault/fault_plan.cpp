@@ -1,0 +1,100 @@
+#include "fault/fault_plan.hpp"
+
+#include <limits>
+
+namespace nfv::fault {
+
+namespace {
+constexpr Cycles kForever = std::numeric_limits<Cycles>::max();
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kDegrade:
+      return "degrade";
+  }
+  return "?";
+}
+
+Cycles FaultSpec::window_end() const {
+  switch (kind) {
+    case FaultKind::kCrash:
+    case FaultKind::kStall:
+      // The outage nominally lasts until the restart fires; with the
+      // default delay (unknown here) or no restart, treat it as open-ended.
+      return restart_after >= 0 && at <= kForever - restart_after
+                 ? at + restart_after
+                 : kForever;
+    case FaultKind::kDegrade:
+      return duration > 0 && at <= kForever - duration ? at + duration
+                                                       : kForever;
+  }
+  return kForever;
+}
+
+void FaultPlan::add_crash(flow::NfId nf, Cycles at, Cycles restart_after) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kCrash;
+  spec.nf = nf;
+  spec.at = at;
+  spec.restart_after = restart_after;
+  add(spec);
+}
+
+void FaultPlan::add_stall(flow::NfId nf, Cycles at, Cycles restart_after) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kStall;
+  spec.nf = nf;
+  spec.at = at;
+  spec.restart_after = restart_after;
+  add(spec);
+}
+
+void FaultPlan::add_degrade(flow::NfId nf, Cycles at, double factor,
+                            Cycles duration) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kDegrade;
+  spec.nf = nf;
+  spec.at = at;
+  spec.factor = factor;
+  spec.duration = duration;
+  add(spec);
+}
+
+void FaultPlan::add(FaultSpec spec) {
+  const std::string what =
+      std::string(to_string(spec.kind)) + " fault on nf " +
+      std::to_string(spec.nf);
+  if (spec.at < 0) {
+    throw FaultError(what + ": injection time must be >= 0");
+  }
+  if ((spec.kind == FaultKind::kCrash || spec.kind == FaultKind::kStall) &&
+      spec.restart_after != kDefaultRestart && spec.restart_after <= 0) {
+    throw FaultError(what + ": restart_after must be > 0");
+  }
+  if (spec.kind == FaultKind::kDegrade) {
+    if (spec.factor <= 0.0) {
+      throw FaultError(what + ": degrade factor must be > 0");
+    }
+    if (spec.duration < 0) {
+      throw FaultError(what + ": degrade duration must be >= 0");
+    }
+  }
+  // One NF, one fault at a time: overlapping windows on the same NF would
+  // make the lifecycle state machine ambiguous (e.g. a crash landing inside
+  // an unresolved stall). Windows are half-open [at, window_end()).
+  for (const FaultSpec& other : specs_) {
+    if (other.nf != spec.nf) continue;
+    if (spec.at < other.window_end() && other.at < spec.window_end()) {
+      throw FaultError(what + ": overlaps an earlier " +
+                       to_string(other.kind) + " fault on the same NF");
+    }
+  }
+  specs_.push_back(spec);
+}
+
+}  // namespace nfv::fault

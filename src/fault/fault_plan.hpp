@@ -1,0 +1,89 @@
+// Deterministic fault plans: what goes wrong, where, and when.
+//
+// A FaultPlan is a validated schedule of injected failures — crash an NF
+// (its in-flight burst dies with the process), stall it (a straggler that
+// spins on the CPU without making progress until the manager's watchdog
+// kills it), or degrade it (scale its service-time distribution, the
+// "suddenly slow" NF). Plans are built programmatically or parsed from a
+// config file (`fault` directives, see src/config/loader.hpp) and armed by
+// a FaultInjector, which turns each spec into an ordinary engine event —
+// faults therefore replay byte-for-byte with the rest of the simulation.
+// Validation happens at add time: bad instants, bad factors and
+// overlapping fault windows on the same NF throw FaultError immediately,
+// so a malformed plan never reaches the engine.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "flow/service_chain.hpp"
+
+namespace nfv::fault {
+
+/// Thrown on an invalid fault specification (negative times, zero-or-
+/// negative degrade factors, overlapping windows on one NF).
+class FaultError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class FaultKind {
+  kCrash,    ///< Process dies: in-flight burst dropped, NF marked DEAD.
+  kStall,    ///< Straggler: holds the CPU, zero progress, watchdog bait.
+  kDegrade,  ///< Service-time distribution scaled by `factor`.
+};
+
+const char* to_string(FaultKind kind);
+
+/// Sentinel for FaultSpec::restart_after: the manager restarts the NF
+/// after its configured default delay (LifecycleConfig::default_restart_delay).
+inline constexpr Cycles kDefaultRestart = -1;
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kCrash;
+  flow::NfId nf = 0;
+  Cycles at = 0;  ///< Injection instant (engine time).
+  /// Crash/stall: delay from death *detection* to the restart attempt;
+  /// kDefaultRestart defers to the manager's default.
+  Cycles restart_after = kDefaultRestart;
+  double factor = 1.0;  ///< Degrade: service-time scale (> 0).
+  Cycles duration = 0;  ///< Degrade: window length; 0 = permanent.
+
+  /// Nominal window this fault occupies on its NF, for overlap checks.
+  /// Watchdog detection latency can extend the actual outage slightly;
+  /// validation is on nominal times.
+  [[nodiscard]] Cycles window_end() const;
+};
+
+class FaultPlan {
+ public:
+  /// Kill `nf` at `at`; the manager restarts it `restart_after` cycles
+  /// after the watchdog detects the death (kDefaultRestart = config default).
+  void add_crash(flow::NfId nf, Cycles at,
+                 Cycles restart_after = kDefaultRestart);
+
+  /// Turn `nf` into a straggler at `at`: it occupies the CPU but processes
+  /// nothing until the watchdog declares it STUCK and force-crashes it;
+  /// `restart_after` then applies as for add_crash.
+  void add_stall(flow::NfId nf, Cycles at,
+                 Cycles restart_after = kDefaultRestart);
+
+  /// Scale `nf`'s service-time distribution by `factor` (> 0) during
+  /// [at, at + duration); duration 0 means until the end of the run.
+  void add_degrade(flow::NfId nf, Cycles at, double factor,
+                   Cycles duration = 0);
+
+  [[nodiscard]] const std::vector<FaultSpec>& specs() const { return specs_; }
+  [[nodiscard]] bool empty() const { return specs_.empty(); }
+  [[nodiscard]] std::size_t size() const { return specs_.size(); }
+
+ private:
+  void add(FaultSpec spec);
+
+  std::vector<FaultSpec> specs_;
+};
+
+}  // namespace nfv::fault

@@ -1,0 +1,47 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nfv::fault {
+
+FaultInjector::FaultInjector(sim::Engine& engine, FaultPlan plan)
+    : engine_(engine), plan_(std::move(plan)) {}
+
+FaultInjector::~FaultInjector() {
+  // Pending injections capture the sink by reference; never let one
+  // outlive the injector's arming context.
+  for (const sim::EventId id : events_) engine_.cancel(id);
+}
+
+void FaultInjector::arm(FaultSink& sink) {
+  assert(!armed_ && "a fault plan is armed once");
+  armed_ = true;
+  FaultSink* s = &sink;
+  for (const FaultSpec& spec : plan_.specs()) {
+    const Cycles at = std::max(spec.at, engine_.now());
+    switch (spec.kind) {
+      case FaultKind::kCrash:
+        events_.push_back(engine_.schedule_at(at, [s, spec] {
+          s->inject_crash(spec.nf, spec.restart_after);
+        }));
+        break;
+      case FaultKind::kStall:
+        events_.push_back(engine_.schedule_at(at, [s, spec] {
+          s->inject_stall(spec.nf, spec.restart_after);
+        }));
+        break;
+      case FaultKind::kDegrade:
+        events_.push_back(engine_.schedule_at(
+            at, [s, spec] { s->inject_degrade(spec.nf, spec.factor); }));
+        if (spec.duration > 0) {
+          events_.push_back(engine_.schedule_at(
+              at + spec.duration,
+              [s, spec] { s->restore_degrade(spec.nf); }));
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace nfv::fault

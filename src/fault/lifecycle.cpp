@@ -1,0 +1,31 @@
+#include "fault/lifecycle.hpp"
+
+namespace nfv::fault {
+
+const char* to_string(NfLifecycle state) {
+  switch (state) {
+    case NfLifecycle::kRunning:
+      return "RUNNING";
+    case NfLifecycle::kDead:
+      return "DEAD";
+    case NfLifecycle::kRestarting:
+      return "RESTARTING";
+    case NfLifecycle::kWarming:
+      return "WARMING";
+  }
+  return "?";
+}
+
+const char* to_string(DeadNfPolicy policy) {
+  switch (policy) {
+    case DeadNfPolicy::kBackpressure:
+      return "backpressure";
+    case DeadNfPolicy::kBypass:
+      return "bypass";
+    case DeadNfPolicy::kBuffer:
+      return "buffer";
+  }
+  return "?";
+}
+
+}  // namespace nfv::fault

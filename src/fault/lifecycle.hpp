@@ -1,0 +1,89 @@
+// NF lifecycle model: states, policies and watchdog tuning.
+//
+// The NF Manager drives every NF through a small state machine once the
+// fault subsystem is enabled (DESIGN.md §11):
+//
+//   RUNNING ──(watchdog sees task.dead(), <= 1 period)──▶ DEAD
+//   RUNNING ──(STUCK: on-CPU, no progress, `stuck_scans` scans)──▶ DEAD
+//   DEAD ──(restart delay elapsed)──▶ RESTARTING
+//   RESTARTING ──(cold-state reload completes)──▶ WARMING
+//   WARMING ──(warm_duration elapsed)──▶ RUNNING
+//
+// RESTARTING performs the cold-state reload through the NF's async I/O
+// engine when one is attached (the §3.4 double-buffered path), otherwise a
+// fixed reload latency stands in. While an NF is down, its service chains
+// degrade according to a per-chain DeadNfPolicy. All transitions are
+// ordinary engine events, so faulted runs stay byte-for-byte deterministic.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+
+namespace nfv::fault {
+
+enum class NfLifecycle {
+  kRunning,     ///< Healthy; the scheduler may run it.
+  kDead,        ///< Process gone; awaiting the restart delay.
+  kRestarting,  ///< Cold-state reload in flight (async I/O read).
+  kWarming,     ///< Revived; caches cold, estimator in warm-up discard.
+};
+
+const char* to_string(NfLifecycle state);
+
+/// What happens to a chain's packets while an NF on it is down.
+enum class DeadNfPolicy {
+  /// Treat the dead NF as an over-watermark queue: pin its Fig. 4 state to
+  /// THROTTLE so the chain is shed at the system entry, with the normal
+  /// hysteresis on recovery (entry drops continue until the revived NF
+  /// drains its backlog below the low watermark). Requires backpressure to
+  /// be enabled — under the Default configuration packets instead pile
+  /// into the dead NF's ring and die there (the availability bench's A/B).
+  kBackpressure,
+  /// Route packets around dead hops (detection onward); a chain whose
+  /// every hop is dead degrades to a pass-through wire.
+  kBypass,
+  /// Do nothing: packets queue in the dead NF's ring (rings live in
+  /// manager-owned shared memory and survive the process) and wait for the
+  /// restart. Only the in-flight burst is lost.
+  kBuffer,
+};
+
+const char* to_string(DeadNfPolicy policy);
+
+struct LifecycleConfig {
+  /// Arm the watchdog. Off by default: an unfaulted simulation schedules no
+  /// lifecycle events and replays exactly as before the subsystem existed.
+  /// Simulation::set_fault_plan enables it automatically.
+  bool enabled = false;
+  /// Watchdog scan period; bounds death-detection latency to one period
+  /// and stuck detection to (stuck_scans + 1) periods. 100 us at 2.6 GHz.
+  Cycles watchdog_period = 260'000;
+  /// Consecutive scans an NF must be on-CPU without progress before the
+  /// watchdog declares it STUCK and force-crashes it. The product
+  /// stuck_scans * watchdog_period must exceed the largest single-packet
+  /// service time, or a legitimately slow packet reads as a hang.
+  std::uint32_t stuck_scans = 3;
+  /// Restart delay applied when the fault plan does not specify one. 1 ms.
+  Cycles default_restart_delay = 2'600'000;
+  /// Cold-state reload size, read through the NF's async I/O engine.
+  std::uint64_t reload_bytes = 256 * 1024;
+  /// Reload stand-in latency for NFs without an I/O engine. 0.5 ms.
+  Cycles reload_latency = 1'300'000;
+  /// WARMING dwell before the NF counts as recovered. 1 ms.
+  Cycles warm_duration = 2'600'000;
+  /// Chain policy when none was set explicitly.
+  DeadNfPolicy default_dead_policy = DeadNfPolicy::kBackpressure;
+};
+
+/// Per-NF lifecycle accounting (exported via obs and report_json).
+struct NfLifecycleStats {
+  std::uint64_t crashes = 0;         ///< Deaths detected (incl. forced).
+  std::uint64_t forced_crashes = 0;  ///< Watchdog kills of STUCK NFs.
+  std::uint64_t restarts = 0;        ///< Cold reloads begun.
+  std::uint64_t recoveries = 0;      ///< WARMING -> RUNNING completions.
+  Cycles downtime_cycles = 0;        ///< Total detection -> recovery time.
+  Cycles last_detect_latency = 0;    ///< Injection -> detection, last death.
+};
+
+}  // namespace nfv::fault

@@ -39,7 +39,9 @@ Manager::Manager(sim::Engine& engine, pktio::MbufPool& pool,
 flow::NfId Manager::register_nf(nf::NfTask* task, sched::Core* core) {
   assert(!started_ && "register NFs before start()");
   const auto id = static_cast<flow::NfId>(records_.size());
-  records_.push_back(NfRecord{task, core, {}, false, 0, 0.0, 0.0});
+  records_.emplace_back();
+  records_.back().task = task;
+  records_.back().core = core;
   core->add_task(task);
   task->set_tx_notify([this, id](nf::NfTask&) { schedule_drain(id); });
   task->set_packet_release([this](pktio::Mbuf* pkt) { pool_.free(pkt); });
@@ -63,6 +65,18 @@ flow::NfId Manager::register_nf(nf::NfTask* task, sched::Core* core) {
     });
     scope.gauge_fn("mgr.load",
                    [this, id] { return records_[id].last_load; });
+    scope.counter_fn("life.crashes",
+                     [this, id] { return records_[id].lstats.crashes; });
+    scope.counter_fn("life.forced_crashes", [this, id] {
+      return records_[id].lstats.forced_crashes;
+    });
+    scope.counter_fn("life.restarts",
+                     [this, id] { return records_[id].lstats.restarts; });
+    scope.counter_fn("life.recoveries",
+                     [this, id] { return records_[id].lstats.recoveries; });
+    scope.counter_fn("life.downtime_cycles", [this, id] {
+      return static_cast<std::uint64_t>(records_[id].lstats.downtime_cycles);
+    });
     NfRecord& rec = records_[id];
     rec.ecn_marks = scope.counter("mgr.ecn_marks");
     rec.shares_writes = scope.counter("mgr.shares_writes");
@@ -105,6 +119,13 @@ void Manager::start() {
   }
   engine_.schedule_periodic(config_.wakeup_period, [this] { wakeup_scan(); });
   engine_.schedule_periodic(config_.monitor_period, [this] { monitor_tick(); });
+  // The watchdog heartbeat exists only when the fault subsystem is enabled:
+  // an unfaulted run schedules no extra events and replays byte-for-byte.
+  if (config_.lifecycle.enabled) {
+    dead_on_chain_.assign(std::max<std::size_t>(chains_.size(), 1), 0);
+    engine_.schedule_periodic(config_.lifecycle.watchdog_period,
+                              [this] { watchdog_scan(); });
+  }
 }
 
 void Manager::ingress(pktio::Mbuf* pkt, const pktio::FlowKey& key) {
@@ -153,7 +174,19 @@ void Manager::ingress(pktio::Mbuf* pkt, const pktio::FlowKey& key,
     return;
   }
   ++cc.entry_admitted;
-  enqueue_to_nf(chains_.get(pkt->chain_id).hops.front(), pkt, arrival);
+  const auto& hops = chains_.get(pkt->chain_id).hops;
+  // Dead-NF bypass (DESIGN.md §11): the chain head itself may be down.
+  if (pkt->chain_id < dead_on_chain_.size() &&
+      dead_on_chain_[pkt->chain_id] > 0 &&
+      dead_policy(pkt->chain_id) == fault::DeadNfPolicy::kBypass) {
+    skip_dead_hops(pkt, pkt->chain_id);
+    if (pkt->chain_pos >= hops.size()) {  // every hop on the chain is dead
+      egress(pkt);
+      pool_.free(pkt);
+      return;
+    }
+  }
+  enqueue_to_nf(hops[pkt->chain_pos], pkt, arrival);
 }
 
 void Manager::enqueue_to_nf(flow::NfId nf_id, pktio::Mbuf* pkt, Cycles when) {
@@ -231,6 +264,11 @@ void Manager::drain_tx(flow::NfId nf_id) {
     pktio::Mbuf* pkt = burst[i];
     const auto& hops = chains_.get(pkt->chain_id).hops;
     ++pkt->chain_pos;
+    if (pkt->chain_id < dead_on_chain_.size() &&
+        dead_on_chain_[pkt->chain_id] > 0 &&
+        dead_policy(pkt->chain_id) == fault::DeadNfPolicy::kBypass) {
+      skip_dead_hops(pkt, pkt->chain_id);
+    }
     if (pkt->chain_pos >= hops.size()) {
       egress(pkt);
       done[done_n++] = pkt;  // freed in one burst below
@@ -327,6 +365,14 @@ void Manager::monitor_tick() {
   const Cycles now = engine_.now();
   obs::inc(ctr_monitor_ticks_);
   for (auto& rec : records_) {
+    if (rec.life == fault::NfLifecycle::kDead ||
+        rec.life == fault::NfLifecycle::kRestarting) {
+      // A down NF consumes no CPU: zero its estimate but keep the offered
+      // window contiguous so λ is correct on the first post-recovery tick.
+      rec.last_load = 0.0;
+      rec.offered_at_last_tick = rec.counters.offered;
+      continue;
+    }
     const std::uint64_t offered = rec.counters.offered;
     const auto delta = static_cast<double>(offered - rec.offered_at_last_tick);
     rec.offered_at_last_tick = offered;
@@ -370,6 +416,12 @@ void Manager::update_shares() {
     if (total <= 0.0) continue;
     for (auto& other : records_) {
       if (other.core != rec.core) continue;
+      // A down NF keeps the released kMinShares written at death; writing
+      // the min_shares floor here would hand it CPU weight it cannot use.
+      if (other.life == fault::NfLifecycle::kDead ||
+          other.life == fault::NfLifecycle::kRestarting) {
+        continue;
+      }
       // Bootstrap rule: an NF with offered traffic but no service-time
       // estimate yet (warm-up samples still being discarded) keeps its
       // current weight — writing a near-zero share would starve it before
@@ -390,6 +442,274 @@ void Manager::update_shares() {
         }
       }
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault & lifecycle subsystem (DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+void Manager::enable_lifecycle() {
+  assert(!started_ && "enable the lifecycle before start()");
+  config_.lifecycle.enabled = true;
+}
+
+void Manager::set_dead_policy(flow::ChainId chain, fault::DeadNfPolicy policy) {
+  if (chain >= chain_policy_.size()) {
+    chain_policy_.resize(chain + 1, config_.lifecycle.default_dead_policy);
+  }
+  chain_policy_[chain] = policy;
+}
+
+fault::DeadNfPolicy Manager::dead_policy(flow::ChainId chain) const {
+  return chain < chain_policy_.size() ? chain_policy_[chain]
+                                      : config_.lifecycle.default_dead_policy;
+}
+
+bool Manager::all_policies_backpressure(flow::NfId nf) const {
+  for (flow::ChainId chain : chains_.chains_through(nf)) {
+    if (dead_policy(chain) != fault::DeadNfPolicy::kBackpressure) return false;
+  }
+  return true;
+}
+
+void Manager::trace_lifecycle(flow::NfId id, const char* from, const char* to,
+                              Cycles now) {
+  if (auto* tr = obs::trace_of(obs_)) {
+    tr->instant(now, obs::kLifecycleLane, "life", "nf_lifecycle",
+                {{"nf", records_[id].task->config().name},
+                 {"from", from},
+                 {"to", to}});
+  }
+}
+
+void Manager::inject_crash(flow::NfId nf, Cycles restart_after) {
+  assert(config_.lifecycle.enabled && "install a fault plan before start()");
+  NfRecord& rec = records_[nf];
+  if (rec.task->dead()) return;  // already down: nothing left to kill
+  rec.crashed_at = engine_.now();
+  rec.pending_restart_delay = restart_after;
+  rec.task->crash();  // data-plane fact; the watchdog discovers it next scan
+  if (auto* tr = obs::trace_of(obs_)) {
+    tr->instant(engine_.now(), obs::kLifecycleLane, "life", "inject_crash",
+                {{"nf", rec.task->config().name}});
+  }
+}
+
+void Manager::inject_stall(flow::NfId nf, Cycles restart_after) {
+  assert(config_.lifecycle.enabled && "install a fault plan before start()");
+  NfRecord& rec = records_[nf];
+  if (rec.task->dead() || rec.task->stalled()) return;
+  rec.crashed_at = engine_.now();
+  rec.pending_restart_delay = restart_after;
+  rec.task->stall();
+  if (auto* tr = obs::trace_of(obs_)) {
+    tr->instant(engine_.now(), obs::kLifecycleLane, "life", "inject_stall",
+                {{"nf", rec.task->config().name}});
+  }
+  // A wedged process is spinning, not sleeping: if it was blocked, make it
+  // runnable so it takes (and squats on) the CPU like a real straggler.
+  if (rec.task->state() == sched::TaskState::kBlocked) {
+    rec.core->wake(rec.task);
+  }
+}
+
+void Manager::inject_degrade(flow::NfId nf, double factor) {
+  assert(config_.lifecycle.enabled && "install a fault plan before start()");
+  NfRecord& rec = records_[nf];
+  if (!rec.degraded) {
+    rec.pre_degrade_scale = rec.task->cost_model().scale();
+    rec.degraded = true;
+  }
+  rec.task->cost_model().set_scale(rec.pre_degrade_scale * factor);
+  if (auto* tr = obs::trace_of(obs_)) {
+    tr->instant(engine_.now(), obs::kLifecycleLane, "life", "inject_degrade",
+                {{"nf", rec.task->config().name}},
+                {{"factor_x1000",
+                  static_cast<std::int64_t>(factor * 1000.0)}});
+  }
+}
+
+void Manager::restore_degrade(flow::NfId nf) {
+  NfRecord& rec = records_[nf];
+  if (!rec.degraded) return;
+  rec.task->cost_model().set_scale(rec.pre_degrade_scale);
+  rec.degraded = false;
+  if (auto* tr = obs::trace_of(obs_)) {
+    tr->instant(engine_.now(), obs::kLifecycleLane, "life", "restore_degrade",
+                {{"nf", rec.task->config().name}});
+  }
+}
+
+void Manager::watchdog_scan() {
+  const Cycles now = engine_.now();
+  for (flow::NfId id = 0; id < records_.size(); ++id) {
+    NfRecord& rec = records_[id];
+    nf::NfTask& task = *rec.task;
+    switch (rec.life) {
+      case fault::NfLifecycle::kRunning: {
+        if (task.dead()) {  // crash injected since the last scan
+          on_nf_death(id, now, /*forced=*/false);
+          break;
+        }
+        // Heartbeat: "progress" is the processed-packet counter advancing.
+        // An NF is a suspect when it makes none despite either holding the
+        // CPU (a spinning straggler) or having work and getting CPU time (a
+        // wedged consumer). A starved-but-healthy NF — work pending, no CPU
+        // granted — is never a suspect, so share starvation cannot be
+        // misdiagnosed as death.
+        const std::uint64_t processed = task.counters().processed;
+        const Cycles runtime = task.stats().runtime;
+        const bool progressed = processed != rec.wd_last_processed;
+        const bool on_cpu = task.state() == sched::TaskState::kRunning;
+        const bool pending =
+            task.in_flight_packets() > 0 || !task.rx_ring().empty();
+        const bool runtime_advanced = runtime != rec.wd_last_runtime;
+        rec.wd_last_processed = processed;
+        rec.wd_last_runtime = runtime;
+        const bool suspect =
+            !progressed && (on_cpu || (pending && runtime_advanced));
+        if (!suspect) {
+          rec.stuck_count = 0;
+          break;
+        }
+        if (++rec.stuck_count >= config_.lifecycle.stuck_scans) {
+          task.crash();  // watchdog kill: SIGKILL the straggler
+          on_nf_death(id, now, /*forced=*/true);
+        }
+        break;
+      }
+      case fault::NfLifecycle::kDead:
+        if (rec.restart_pending && now >= rec.restart_at) {
+          begin_restart(id, now);
+        }
+        break;
+      case fault::NfLifecycle::kRestarting:
+        break;  // waiting on the async cold-state reload
+      case fault::NfLifecycle::kWarming:
+        if (task.dead()) {  // re-crashed before warm-up completed
+          on_nf_death(id, now, /*forced=*/false);
+          break;
+        }
+        if (now >= rec.warm_until) complete_recovery(id, now);
+        break;
+    }
+  }
+}
+
+void Manager::on_nf_death(flow::NfId id, Cycles now, bool forced) {
+  NfRecord& rec = records_[id];
+  const char* from = fault::to_string(rec.life);
+  if (rec.life == fault::NfLifecycle::kWarming) {
+    // Re-crash before full recovery: fold the first outage's downtime in
+    // now, since complete_recovery() will only see the second one.
+    rec.lstats.downtime_cycles += now - rec.down_since;
+  }
+  rec.life = fault::NfLifecycle::kDead;
+  rec.down_since = now;
+  ++rec.lstats.crashes;
+  if (forced) ++rec.lstats.forced_crashes;
+  rec.lstats.last_detect_latency = now - rec.crashed_at;
+  rec.stuck_count = 0;
+
+  // Release the dead process's CPU weight (its cgroup is torn down; CFS
+  // redistributes to the survivors on the same core immediately).
+  if (config_.enable_cgroups) {
+    cgroup_.set_shares(*rec.task, sched::CGroupController::kMinShares);
+    obs::set(rec.cpu_shares,
+             static_cast<double>(sched::CGroupController::kMinShares));
+  }
+  rec.last_load = 0.0;
+  rec.load_accum = 0.0;
+  rec.has_estimate = false;
+
+  for (flow::ChainId chain : chains_.chains_through(id)) {
+    if (chain >= dead_on_chain_.size()) dead_on_chain_.resize(chain + 1, 0);
+    ++dead_on_chain_[chain];
+  }
+  // Dead-NF backpressure composition: pin the NF at Throttle so its chains
+  // shed at the entry point, exactly like a queue stuck over the high
+  // watermark. Only when every chain through it wants that policy — a
+  // bypass/buffer chain must keep flowing.
+  if (config_.enable_backpressure && all_policies_backpressure(id)) {
+    bp_->force_dead(id, now);
+  }
+
+  const Cycles delay = rec.pending_restart_delay >= 0
+                           ? rec.pending_restart_delay
+                           : config_.lifecycle.default_restart_delay;
+  rec.restart_at = now + delay;
+  rec.restart_pending = true;
+  rec.pending_restart_delay = fault::kDefaultRestart;
+  trace_lifecycle(id, from, "DEAD", now);
+}
+
+void Manager::begin_restart(flow::NfId id, Cycles now) {
+  NfRecord& rec = records_[id];
+  rec.restart_pending = false;
+  rec.life = fault::NfLifecycle::kRestarting;
+  ++rec.lstats.restarts;
+  trace_lifecycle(id, "DEAD", "RESTARTING", now);
+  // Cold-state reload rides the NF's §3.4 double-buffered async-I/O path
+  // when it has one (state lives behind the same device its handlers use);
+  // stateless NFs pay a fixed spawn+mmap latency instead.
+  if (auto* io = rec.task->io()) {
+    io->read(config_.lifecycle.reload_bytes, [this, id] { finish_restart(id); });
+  } else {
+    engine_.schedule_after(config_.lifecycle.reload_latency,
+                           [this, id] { finish_restart(id); });
+  }
+}
+
+void Manager::finish_restart(flow::NfId id) {
+  NfRecord& rec = records_[id];
+  if (rec.life != fault::NfLifecycle::kRestarting) return;
+  const Cycles now = engine_.now();
+  rec.life = fault::NfLifecycle::kWarming;
+  rec.warm_until = now + config_.lifecycle.warm_duration;
+  rec.task->revive(now);
+  // The fresh process starts at the cgroup default weight; the monitor
+  // re-derives its proportional share once the estimator warms up.
+  if (config_.enable_cgroups) {
+    cgroup_.set_shares(*rec.task, sched::kDefaultWeight);
+    obs::set(rec.cpu_shares, static_cast<double>(sched::kDefaultWeight));
+  }
+  // Drop the dead-NF latch only: the state stays Throttle until the normal
+  // Fig. 4 hysteresis clears it below the low watermark — entry discard
+  // keeps protecting the revived NF while it digests its backlog.
+  if (config_.enable_backpressure) bp_->clear_dead(id, now);
+  for (flow::ChainId chain : chains_.chains_through(id)) {
+    if (chain < dead_on_chain_.size() && dead_on_chain_[chain] > 0) {
+      --dead_on_chain_[chain];
+    }
+  }
+  rec.load_accum = 0.0;
+  rec.offered_accum = 0.0;
+  rec.has_estimate = false;
+  rec.wd_last_processed = rec.task->counters().processed;
+  rec.wd_last_runtime = rec.task->stats().runtime;
+  rec.stuck_count = 0;
+  trace_lifecycle(id, "RESTARTING", "WARMING", now);
+  // Its RX ring survived the outage in manager-owned shared memory; if a
+  // backlog is waiting, put the revived process straight to work.
+  if (rec.task->has_runnable_work()) rec.core->wake(rec.task);
+}
+
+void Manager::complete_recovery(flow::NfId id, Cycles now) {
+  NfRecord& rec = records_[id];
+  rec.life = fault::NfLifecycle::kRunning;
+  ++rec.lstats.recoveries;
+  rec.lstats.downtime_cycles += now - rec.down_since;
+  trace_lifecycle(id, "WARMING", "RUNNING", now);
+}
+
+void Manager::skip_dead_hops(pktio::Mbuf* pkt, flow::ChainId chain) {
+  const auto& hops = chains_.get(chain).hops;
+  auto& cc = chain_counters_[chain];
+  while (pkt->chain_pos < hops.size() &&
+         records_[hops[pkt->chain_pos]].task->dead()) {
+    ++cc.bypassed_hops;
+    ++pkt->chain_pos;
   }
 }
 

@@ -26,6 +26,8 @@
 #include "bp/backpressure.hpp"
 #include "bp/ecn.hpp"
 #include "common/histogram.hpp"
+#include "fault/injector.hpp"
+#include "fault/lifecycle.hpp"
 #include "flow/flow_table.hpp"
 #include "flow/service_chain.hpp"
 #include "nf/nf_task.hpp"
@@ -84,6 +86,9 @@ struct ManagerConfig {
 
   bp::BpConfig backpressure;
   bp::EcnMarker::Config ecn;
+  /// Fault & lifecycle subsystem (DESIGN.md §11). Disabled by default: no
+  /// watchdog events are scheduled, so unfaulted runs replay exactly.
+  fault::LifecycleConfig lifecycle;
   Cycles cgroup_write_cost = 13'000;  ///< ~5 us sysfs write (§3.5).
   /// NUMA node whose memory the NIC DMAs packets into.
   int nic_numa_node = 0;
@@ -112,6 +117,9 @@ struct ChainCounters {
   std::uint64_t entry_throttle_drops = 0;  ///< Selective early discard.
   std::uint64_t egress_packets = 0;
   std::uint64_t egress_bytes = 0;
+  /// Dead hops routed around under DeadNfPolicy::kBypass (hop-skips, not
+  /// packets: a packet skipping two dead NFs counts twice).
+  std::uint64_t bypassed_hops = 0;
 };
 
 /// Per-chain end-to-end latency (wire arrival -> wire egress), recorded in
@@ -135,7 +143,7 @@ struct FlowCounters {
   std::uint64_t ecn_marked = 0;
 };
 
-class Manager {
+class Manager : public fault::FaultSink {
  public:
   using EgressSink = std::function<void(const pktio::Mbuf&)>;
 
@@ -200,6 +208,30 @@ class Manager {
   [[nodiscard]] double nf_load(flow::NfId id) const { return records_[id].last_load; }
   [[nodiscard]] std::uint64_t wire_ingress() const { return wire_ingress_; }
 
+  // -- fault & lifecycle (DESIGN.md §11) ------------------------------------
+  /// Arm the watchdog at start(). Implied by installing a fault plan via
+  /// the Simulation facade; call before start().
+  void enable_lifecycle();
+  /// Chain policy applied while an NF on the chain is down. Callable any
+  /// time; unset chains use LifecycleConfig::default_dead_policy.
+  void set_dead_policy(flow::ChainId chain, fault::DeadNfPolicy policy);
+  [[nodiscard]] fault::DeadNfPolicy dead_policy(flow::ChainId chain) const;
+  [[nodiscard]] fault::NfLifecycle nf_lifecycle(flow::NfId id) const {
+    return records_[id].life;
+  }
+  [[nodiscard]] const fault::NfLifecycleStats& nf_lifecycle_stats(
+      flow::NfId id) const {
+    return records_[id].lstats;
+  }
+
+  // fault::FaultSink — the injector's actuation points. Injection is the
+  // data-plane fact (the process dies *now*); the watchdog discovers it on
+  // its next scan and drives the lifecycle from there.
+  void inject_crash(flow::NfId nf, Cycles restart_after) override;
+  void inject_stall(flow::NfId nf, Cycles restart_after) override;
+  void inject_degrade(flow::NfId nf, double factor) override;
+  void restore_degrade(flow::NfId nf) override;
+
  private:
   struct NfRecord {
     nf::NfTask* task = nullptr;
@@ -221,6 +253,25 @@ class Manager {
     obs::Counter* ecn_marks = nullptr;
     obs::Counter* shares_writes = nullptr;
     obs::Gauge* cpu_shares = nullptr;
+
+    // -- lifecycle (DESIGN.md §11) ----------------------------------------
+    fault::NfLifecycle life = fault::NfLifecycle::kRunning;
+    fault::NfLifecycleStats lstats;
+    Cycles crashed_at = 0;     ///< Injection instant of the pending death.
+    Cycles down_since = 0;     ///< Detection instant (downtime starts here).
+    Cycles restart_at = 0;     ///< When the DEAD -> RESTARTING edge fires.
+    Cycles warm_until = 0;     ///< When WARMING completes.
+    bool restart_pending = false;
+    /// Detection -> restart delay for the in-flight fault
+    /// (fault::kDefaultRestart = LifecycleConfig::default_restart_delay).
+    Cycles pending_restart_delay = fault::kDefaultRestart;
+    // Watchdog stuck detection: progress snapshots from the last scan.
+    std::uint64_t wd_last_processed = 0;
+    Cycles wd_last_runtime = 0;
+    std::uint32_t stuck_count = 0;
+    // Degrade fault: cost-model scale to restore when the window closes.
+    double pre_degrade_scale = 1.0;
+    bool degraded = false;
   };
 
   void enqueue_to_nf(flow::NfId nf_id, pktio::Mbuf* pkt, Cycles when);
@@ -231,6 +282,28 @@ class Manager {
   void monitor_tick();
   void update_shares();
   void drop(pktio::Mbuf* pkt);
+
+  // -- lifecycle internals (DESIGN.md §11) ----------------------------------
+  /// Periodic heartbeat scan: detects dead/stuck NFs, fires due restarts,
+  /// completes warm-ups. Only scheduled when lifecycle.enabled.
+  void watchdog_scan();
+  /// RUNNING -> DEAD: release shares, apply the dead-NF policy, arm restart.
+  /// `forced` = the watchdog killed a stuck NF (vs an injected crash).
+  void on_nf_death(flow::NfId id, Cycles now, bool forced);
+  /// DEAD -> RESTARTING: cold-state reload through the NF's async-io layer
+  /// (§3.4 double-buffered path) or a fixed fallback latency without one.
+  void begin_restart(flow::NfId id, Cycles now);
+  /// RESTARTING -> WARMING: revive the task, restore weight, drop the
+  /// dead-NF backpressure latch (ordinary hysteresis takes over).
+  void finish_restart(flow::NfId id);
+  /// WARMING -> RUNNING: record downtime and resume share allocation.
+  void complete_recovery(flow::NfId id, Cycles now);
+  /// kBypass routing: advance `pkt` past consecutive dead hops, counting
+  /// each skip. Fast exit when nothing on the chain is down.
+  void skip_dead_hops(pktio::Mbuf* pkt, flow::ChainId chain);
+  [[nodiscard]] bool all_policies_backpressure(flow::NfId nf) const;
+  void trace_lifecycle(flow::NfId id, const char* from, const char* to,
+                       Cycles now);
 
   sim::Engine& engine_;
   pktio::MbufPool& pool_;
@@ -251,6 +324,14 @@ class Manager {
   std::uint64_t wire_ingress_ = 0;
   std::uint32_t monitor_ticks_ = 0;
   bool started_ = false;
+
+  /// Dead-NF refcount per chain: gates every lifecycle branch on the packet
+  /// path, so unfaulted runs (and runs where everything recovered) pay one
+  /// integer compare and nothing else.
+  std::vector<std::uint32_t> dead_on_chain_;
+  /// Per-chain DeadNfPolicy override; chains beyond the vector (or never
+  /// set) use config_.lifecycle.default_dead_policy.
+  std::vector<fault::DeadNfPolicy> chain_policy_;
 
   obs::Observability* obs_ = nullptr;
   obs::Counter* ctr_unmatched_drops_ = nullptr;

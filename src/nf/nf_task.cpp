@@ -38,6 +38,7 @@ void NfTask::set_observability(obs::Observability* obs) {
   scope.counter_fn("nf.tx_full_blocks",
                    [this] { return counters_.tx_full_blocks; });
   scope.counter_fn("nf.io_blocks", [this] { return counters_.io_blocks; });
+  scope.counter_fn("nf.crash_drops", [this] { return counters_.crash_drops; });
   scope.counter_fn("nf.numa_remote_packets",
                    [this] { return counters_.numa_remote_packets; });
   scope.counter_fn("nf.runtime_cycles", [this] {
@@ -71,6 +72,10 @@ void NfTask::attach_io(io::AsyncIoEngine* io_engine) {
 }
 
 bool NfTask::has_runnable_work() const {
+  if (dead_) return false;
+  // A straggler spins: it always "wants" the CPU and ignores the
+  // relinquish flag (a hung process checks no shared-memory flags).
+  if (stalled_) return true;
   if (yield_flag_) return false;
   if (io_ != nullptr && io_->would_block()) return false;
   if (tx_ring_.full()) return false;
@@ -78,6 +83,10 @@ bool NfTask::has_runnable_work() const {
 }
 
 void NfTask::on_dispatch(Cycles now) {
+  // A straggler holds the CPU without scheduling work: it stays kRunning,
+  // burns cycles (tick accounting charges it), and never yields. Only a
+  // tick/wakeup preemption or the watchdog's crash() takes the core back.
+  if (stalled_) return;
   if (burst_pos_ < burst_.size() && work_event_ == sim::kInvalidEventId) {
     // Resume the burst that was in flight when we were preempted: replay
     // the remaining virtual clock from now. The burst is not extended with
@@ -111,6 +120,53 @@ void NfTask::on_preempt(Cycles now) {
   assert(burst_pos_ < burst_.size() && "armed burst cannot be fully done");
   resume_remaining_ = burst_[burst_pos_].done_at - now;
   assert(resume_remaining_ >= 0);
+}
+
+void NfTask::crash() {
+  if (dead_) return;
+  // Tear the CPU away first: the preempt path inside force_block finalizes
+  // packets whose virtual completion already passed (they really finished
+  // before the crash instant) and charges the runtime consumed so far.
+  core()->force_block(this);
+  if (work_event_ != sim::kInvalidEventId) {
+    engine_.cancel(work_event_);
+    work_event_ = sim::kInvalidEventId;
+  }
+  // The rest of the in-flight burst dies with the process: these
+  // descriptors were dequeued into the NF's private batch and nothing can
+  // recover them. The RX/TX rings survive (shared memory).
+  for (std::size_t i = burst_pos_; i < burst_.size(); ++i) {
+    ++counters_.crash_drops;
+    if (release_) release_(burst_[i].pkt);
+  }
+  burst_.clear();
+  burst_pos_ = 0;
+  resume_remaining_ = 0;
+  batch_count_ = 0;
+  stalled_ = false;
+  dead_ = true;
+}
+
+void NfTask::stall() {
+  if (dead_ || stalled_) return;
+  stalled_ = true;
+  // Freeze mid-instruction: the pending completion never fires and any
+  // in-flight burst is held hostage (conservation still counts it via
+  // in_flight_packets()). The task keeps spinning on the CPU from here.
+  if (work_event_ != sim::kInvalidEventId) {
+    engine_.cancel(work_event_);
+    work_event_ = sim::kInvalidEventId;
+  }
+}
+
+void NfTask::revive(Cycles now) {
+  dead_ = false;
+  stalled_ = false;
+  // Cold process: caches and the service-time estimator start over, as at
+  // launch — the §3.5 warm-up samples are discarded again.
+  warmup_left_ = config_.warmup_samples;
+  next_sample_time_ = now;
+  batch_count_ = 0;
 }
 
 void NfTask::start_next_burst(Cycles now) {

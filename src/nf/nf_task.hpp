@@ -48,6 +48,10 @@ struct NfCounters {
   std::uint64_t tx_full_blocks = 0;  ///< Local backpressure blocks (§3.3).
   std::uint64_t io_blocks = 0;       ///< Blocks with both I/O buffers full.
   std::uint64_t numa_remote_packets = 0;  ///< Paid the cross-node penalty.
+  /// In-flight burst packets lost when the process crashed (fault model,
+  /// DESIGN.md §11). Conservation: admitted = egress + drops + crash_drops
+  /// + queued.
+  std::uint64_t crash_drops = 0;
 };
 
 class NfTask : public sched::Task {
@@ -135,6 +139,25 @@ class NfTask : public sched::Task {
   /// True when waking the NF would let it make progress.
   [[nodiscard]] bool has_runnable_work() const;
 
+  // -- fault & lifecycle (driven by the platform's fault subsystem) --------
+  /// The process dies, now: the CPU is torn away (packets that genuinely
+  /// completed before this instant are still finalized at their exact
+  /// times), the rest of the in-flight burst is released back to the pool
+  /// as crash_drops, and the task goes DEAD — invisible to wakeups until
+  /// revive(). The RX/TX rings are untouched: they live in manager-owned
+  /// shared memory and survive the process (OpenNetVM's model).
+  void crash();
+  /// The process becomes a straggler, now: it freezes mid-instruction —
+  /// any in-flight burst is held hostage, no completion ever fires — but
+  /// keeps (or takes) the CPU and burns cycles without progress, until the
+  /// manager's watchdog declares it STUCK and crash()es it.
+  void stall();
+  /// Cold restart after a crash: clears dead/stalled, restarts the §3.5
+  /// warm-up sample discard (caches are cold again).
+  void revive(Cycles now);
+  [[nodiscard]] bool dead() const { return dead_; }
+  [[nodiscard]] bool stalled() const { return stalled_; }
+
   /// Packets dequeued from the RX ring into the current burst but not yet
   /// finalized. Conservation accounting must count these alongside ring
   /// occupancy: they are alive in the pool but visible in no queue.
@@ -174,6 +197,8 @@ class NfTask : public sched::Task {
 
   bool yield_flag_ = false;
   bool overload_flag_ = false;
+  bool dead_ = false;
+  bool stalled_ = false;
 
   // In-flight burst state across preemptions. Entries before burst_pos_
   // are finalized (handler ran, packet left the NF); burst_pos_ onward are

@@ -29,6 +29,7 @@ namespace nfv::obs {
 /// manager's actor threads get fixed high lanes so they never collide.
 inline constexpr std::uint32_t kManagerLane = 900;
 inline constexpr std::uint32_t kBackpressureLane = 901;
+inline constexpr std::uint32_t kLifecycleLane = 902;
 
 struct TraceEvent {
   Cycles ts = 0;            ///< Engine time the event fired.

@@ -96,6 +96,37 @@ void Core::yield_current(Task* task, bool will_block) {
   schedule_dispatch();
 }
 
+void Core::force_block(Task* task) {
+  assert(task->core() == this);
+  switch (task->state()) {
+    case TaskState::kBlocked:
+      return;
+    case TaskState::kRunnable:
+      scheduler_->remove(task);
+      task->set_state(TaskState::kBlocked);
+      return;
+    case TaskState::kRunning: {
+      assert(task == current_);
+      if (dispatch_event_ != sim::kInvalidEventId) {
+        // Killed mid-switch: it never started, so on_dispatch never fires.
+        engine_.cancel(dispatch_event_);
+        dispatch_event_ = sim::kInvalidEventId;
+      }
+      task->on_preempt(engine_.now());
+      account_running(/*stint_ends=*/true);
+      ++task->mutable_stats().involuntary_switches;
+      if (auto* trace = obs::trace_of(obs_)) {
+        trace->instant(engine_.now(), lane_, "sched", "force_block",
+                       {{"task", task->name()}});
+      }
+      task->set_state(TaskState::kBlocked);
+      current_ = nullptr;
+      schedule_dispatch();
+      return;
+    }
+  }
+}
+
 Cycles Core::busy_cycles() const {
   Cycles busy = busy_;
   if (current_ != nullptr && engine_.now() > account_start_) {

@@ -62,6 +62,14 @@ class Core {
   /// next wake(); otherwise it stays runnable and is requeued.
   void yield_current(Task* task, bool will_block);
 
+  /// Forcibly take a task off the CPU or runqueue and mark it Blocked —
+  /// the kernel's view of a process that died or was killed. Unlike
+  /// yield_current this may target any task: Running (preempted, runtime
+  /// charged, core handed to the next runnable task), Runnable (removed
+  /// from the runqueue) or already Blocked (no-op). The fault subsystem
+  /// uses it to model NF crashes (DESIGN.md §11).
+  void force_block(Task* task);
+
   [[nodiscard]] Task* current() const { return current_; }
   [[nodiscard]] Scheduler& scheduler() { return *scheduler_; }
   [[nodiscard]] const Scheduler& scheduler() const { return *scheduler_; }

@@ -144,5 +144,119 @@ TEST(ConfigLoader, UnknownFlowChainFails) {
   EXPECT_THROW(load_string("udp ghost rate=1\n", sim), ConfigError);
 }
 
+TEST(ConfigLoader, FaultDirectivesParsed) {
+  Simulation sim;
+  const auto topo = load_string(R"(
+    mode nfvnice
+    core batch
+    nf a core=0 cost=120
+    nf b core=0 cost=270
+    chain ab a b
+    udp ab rate=2e6
+    fault crash b at=0.02 restart_after=0.01
+    fault slow a at=0.05 factor=2 for=0.02
+    on_dead ab backpressure
+  )",
+                                sim);
+  // Any fault directive arms the lifecycle subsystem.
+  EXPECT_TRUE(sim.manager().config().lifecycle.enabled);
+  sim.run_for_seconds(0.1);
+  const auto& ls = sim.nf_lifecycle_stats(topo.nfs.at("b"));
+  EXPECT_EQ(ls.crashes, 1u);
+  EXPECT_EQ(ls.recoveries, 1u);
+  EXPECT_EQ(sim.nf_lifecycle(topo.nfs.at("b")), fault::NfLifecycle::kRunning);
+}
+
+TEST(ConfigLoader, FaultStallAndBypassParsed) {
+  Simulation sim;
+  const auto topo = load_string(R"(
+    core batch
+    nf a core=0 cost=120
+    nf b core=0 cost=150
+    chain ab a b
+    udp ab rate=1e6
+    fault stall b at=0.02 restart_after=0.01
+    on_dead ab bypass
+  )",
+                                sim);
+  sim.run_for_seconds(0.1);
+  EXPECT_EQ(sim.nf_lifecycle_stats(topo.nfs.at("b")).forced_crashes, 1u);
+  EXPECT_GT(sim.manager().chain_counters(topo.chains.at("ab")).bypassed_hops,
+            0u);
+}
+
+TEST(ConfigLoader, NoFaultDirectiveLeavesLifecycleDisabled) {
+  Simulation sim;
+  load_string("core batch\nnf a core=0 cost=100\nchain c a\n", sim);
+  EXPECT_FALSE(sim.manager().config().lifecycle.enabled);
+}
+
+TEST(ConfigLoader, FaultUnknownNfFails) {
+  Simulation sim;
+  EXPECT_THROW(load_string("core batch\nfault crash ghost at=0.1\n", sim),
+               ConfigError);
+}
+
+TEST(ConfigLoader, FaultMissingAtFails) {
+  Simulation sim;
+  EXPECT_THROW(
+      load_string("core batch\nnf a core=0 cost=1\nfault crash a\n", sim),
+      ConfigError);
+}
+
+TEST(ConfigLoader, FaultSlowWithoutFactorFails) {
+  Simulation sim;
+  EXPECT_THROW(
+      load_string("core batch\nnf a core=0 cost=1\nfault slow a at=0.1\n", sim),
+      ConfigError);
+}
+
+TEST(ConfigLoader, FaultUnknownKindFails) {
+  Simulation sim;
+  EXPECT_THROW(
+      load_string("core batch\nnf a core=0 cost=1\nfault melt a at=0.1\n", sim),
+      ConfigError);
+}
+
+TEST(ConfigLoader, FaultUnknownOptionFails) {
+  Simulation sim;
+  EXPECT_THROW(load_string(
+                   "core batch\nnf a core=0 cost=1\nfault crash a at=0.1 x=2\n",
+                   sim),
+               ConfigError);
+}
+
+// Overlap validation happens in FaultPlan; the loader must rewrap the
+// FaultError as a ConfigError that carries the offending line.
+TEST(ConfigLoader, OverlappingFaultsCarryLineNumbers) {
+  Simulation sim;
+  try {
+    load_string(
+        "core batch\n"
+        "nf a core=0 cost=1\n"
+        "fault crash a at=0.1 restart_after=0.1\n"
+        "fault stall a at=0.15\n",
+        sim);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.line(), 4);
+    EXPECT_NE(std::string(e.what()).find("overlap"), std::string::npos);
+  }
+}
+
+TEST(ConfigLoader, OnDeadUnknownChainFails) {
+  Simulation sim;
+  EXPECT_THROW(load_string("core batch\non_dead ghost bypass\n", sim),
+               ConfigError);
+}
+
+TEST(ConfigLoader, OnDeadUnknownPolicyFails) {
+  Simulation sim;
+  EXPECT_THROW(load_string("core batch\nnf a core=0 cost=1\nchain c a\n"
+                           "on_dead c explode\n",
+                           sim),
+               ConfigError);
+}
+
 }  // namespace
 }  // namespace nfv::config

@@ -1,0 +1,35 @@
+#include "fault/lifecycle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nfv::fault {
+namespace {
+
+TEST(Lifecycle, StateNames) {
+  EXPECT_STREQ(to_string(NfLifecycle::kRunning), "RUNNING");
+  EXPECT_STREQ(to_string(NfLifecycle::kDead), "DEAD");
+  EXPECT_STREQ(to_string(NfLifecycle::kRestarting), "RESTARTING");
+  EXPECT_STREQ(to_string(NfLifecycle::kWarming), "WARMING");
+}
+
+TEST(Lifecycle, PolicyNames) {
+  EXPECT_STREQ(to_string(DeadNfPolicy::kBackpressure), "backpressure");
+  EXPECT_STREQ(to_string(DeadNfPolicy::kBypass), "bypass");
+  EXPECT_STREQ(to_string(DeadNfPolicy::kBuffer), "buffer");
+}
+
+// The documented watchdog timing bounds (DESIGN.md §11) rest on these
+// defaults; changing them invalidates the detection-latency guarantees
+// stated there, so pin them.
+TEST(Lifecycle, ConfigDefaults) {
+  LifecycleConfig cfg;
+  EXPECT_FALSE(cfg.enabled);
+  EXPECT_EQ(cfg.watchdog_period, 260'000);        // 100 us at 2.6 GHz
+  EXPECT_EQ(cfg.stuck_scans, 3u);
+  EXPECT_EQ(cfg.default_restart_delay, 2'600'000);  // 1 ms
+  EXPECT_EQ(cfg.warm_duration, 2'600'000);          // 1 ms
+  EXPECT_EQ(cfg.default_dead_policy, DeadNfPolicy::kBackpressure);
+}
+
+}  // namespace
+}  // namespace nfv::fault

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "core/simulation.hpp"
+#include "fault/fault_plan.hpp"
 
 namespace nfv::core {
 namespace {
@@ -13,6 +14,7 @@ struct Accounting {
   std::uint64_t egress = 0;
   std::uint64_t rx_full_drops = 0;
   std::uint64_t handler_drops = 0;
+  std::uint64_t crash_drops = 0;
   std::uint64_t in_queues = 0;
   std::uint64_t pool_in_use = 0;
 };
@@ -34,16 +36,18 @@ Accounting account(Simulation& sim, const std::vector<flow::NfId>& nfs,
     a.in_queues += sim.nf(nf).rx_ring().size() + sim.nf(nf).tx_ring().size() +
                    sim.nf(nf).in_flight_packets();
     a.handler_drops += sim.nf(nf).counters().handler_drops;
+    a.crash_drops += m.crash_drops;
   }
   return a;
 }
 
 // All admitted packets are either egressed, dropped at a ring, dropped by a
-// handler, or still sitting in a queue (or held in flight by an NF).
+// handler, lost in-flight to an NF crash, or still sitting in a queue (or
+// held in flight by an NF).
 void expect_conservation(const Accounting& a) {
   EXPECT_EQ(a.wire_ingress, a.entry_admitted + a.entry_drops);
   const std::uint64_t accounted =
-      a.egress + a.rx_full_drops + a.handler_drops + a.in_queues;
+      a.egress + a.rx_full_drops + a.handler_drops + a.crash_drops + a.in_queues;
   // In-flight packets (one per NF at most) explain any small gap.
   EXPECT_LE(a.entry_admitted, accounted + 16);
   EXPECT_GE(a.entry_admitted + 16, accounted);
@@ -132,6 +136,55 @@ TEST(Conservation, HandlerDropsAccounted) {
   EXPECT_EQ(acc.entry_admitted,
             acc.egress + acc.rx_full_drops + acc.handler_drops);
   EXPECT_EQ(acc.pool_in_use, 0u);
+}
+
+// The invariant must also hold through DEAD and RESTARTING states: packets
+// lost in a crashed NF's burst are counted as crash_drops, and the dead
+// NF's ring contents stay accounted (and leak-free) until the restart.
+TEST(Conservation, ThroughCrashAndRestart) {
+  Simulation sim;
+  const auto core_id = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto a = sim.add_nf("a", core_id, nf::CostModel::fixed(120));
+  const auto b = sim.add_nf("b", core_id, nf::CostModel::fixed(270));
+  const auto chain = sim.add_chain("ab", {a, b});
+  sim.add_udp_flow(chain, 6e6);
+  fault::FaultPlan plan;
+  plan.add_crash(b, sim.clock().from_seconds(0.05),
+                 sim.clock().from_seconds(0.02));
+  sim.set_fault_plan(std::move(plan));
+
+  // Mid-outage: b is DEAD with a frozen ring and crash-dropped burst.
+  sim.run_for_seconds(0.06);
+  EXPECT_EQ(sim.nf_lifecycle(b), fault::NfLifecycle::kDead);
+  expect_conservation(account(sim, {a, b}, {chain}));
+
+  // After recovery: back to RUNNING, still conserving.
+  sim.run_for_seconds(0.14);
+  EXPECT_EQ(sim.nf_lifecycle(b), fault::NfLifecycle::kRunning);
+  expect_conservation(account(sim, {a, b}, {chain}));
+}
+
+// Once traffic stops after a crash/restart cycle, every mbuf must return
+// to the pool — a dead NF's ring contents are not leaked.
+TEST(Conservation, DrainToZeroAfterCrash) {
+  Simulation sim;
+  const auto core_id = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto a = sim.add_nf("a", core_id, nf::CostModel::fixed(120));
+  const auto b = sim.add_nf("b", core_id, nf::CostModel::fixed(550));
+  const auto chain = sim.add_chain("ab", {a, b});
+  sim.add_udp_flow(chain, 6e6, {.stop_seconds = 0.1});
+  fault::FaultPlan plan;
+  plan.add_crash(b, sim.clock().from_seconds(0.05),
+                 sim.clock().from_seconds(0.01));
+  sim.set_fault_plan(std::move(plan));
+  sim.run_for_seconds(0.5);
+  const auto acc = account(sim, {a, b}, {chain});
+  EXPECT_EQ(sim.nf_lifecycle(b), fault::NfLifecycle::kRunning);
+  EXPECT_GT(acc.crash_drops, 0u);
+  EXPECT_EQ(acc.in_queues, 0u);
+  EXPECT_EQ(acc.pool_in_use, 0u);
+  EXPECT_EQ(acc.entry_admitted, acc.egress + acc.rx_full_drops +
+                                    acc.handler_drops + acc.crash_drops);
 }
 
 // Sweep the invariant across schedulers and load levels.

@@ -1,15 +1,20 @@
 #!/usr/bin/env python3
 """Compare the performance benches against the committed baseline.
 
-Runs the two serial microbenches and checks their headline throughput
-numbers against BENCH_baseline.json, failing when any metric regresses by
-more than the tolerance (default 20%). Both metrics are
+Runs the serial microbenches plus the availability bench and checks their
+headline numbers against BENCH_baseline.json, failing when any metric
+regresses by more than the tolerance (default 20%). All metrics are
 higher-is-better:
 
   engine_events_per_sec          micro_engine's aggregate event throughput
   substrate_sim_ms_per_wall_ms   simulated ms per wall-clock ms of the
                                  fig. 7 chain (micro_substrate's
                                  BM_EndToEndChainMillisecond)
+  availability_goodput_ratio     fig_availability: NFVnice's total goodput
+                                 under an NF crash relative to Default's
+                                 (BATCH scheduler). Simulation output, so
+                                 it is deterministic; the tolerance only
+                                 has to absorb intentional model changes.
 
 Regenerate the baseline (e.g. on a hardware change or an accepted perf
 shift) with --update. CI machines are noisy, hence the wide tolerance;
@@ -34,6 +39,12 @@ def run_micro_engine(binary: pathlib.Path) -> float:
     out = subprocess.run([str(binary), "--json"], check=True,
                          capture_output=True, text=True).stdout
     return float(json.loads(out)["events_per_sec"])
+
+
+def run_fig_availability(binary: pathlib.Path) -> float:
+    out = subprocess.run([str(binary), "--json"], check=True,
+                         capture_output=True, text=True).stdout
+    return float(json.loads(out)["availability_goodput_ratio"])
 
 
 def run_micro_substrate(binary: pathlib.Path, repetitions: int) -> float:
@@ -75,6 +86,8 @@ def main() -> int:
         "substrate_sim_ms_per_wall_ms":
             run_micro_substrate(bench_dir / "micro_substrate",
                                 args.repetitions),
+        "availability_goodput_ratio":
+            run_fig_availability(bench_dir / "fig_availability"),
     }
 
     if args.update:

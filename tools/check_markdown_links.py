@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Check intra-repo markdown links and heading anchors.
+
+Scans every *.md file in the repository for inline links and validates:
+
+  * relative file links point at files that exist in the tree;
+  * anchor links (``#section`` or ``FILE.md#section``) resolve to a real
+    heading, using GitHub's slugification rules (lowercase, punctuation
+    stripped, spaces to hyphens, ``-N`` suffixes for duplicates).
+
+External links (http/https/mailto) are ignored: this checker guards the
+repo's internal cross-reference graph (README -> DESIGN.md section
+anchors and friends), which goes stale silently whenever a heading is
+renamed or a file moves.
+
+Usage: python3 tools/check_markdown_links.py [repo-root]
+Exits non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def strip_fenced_code(text: str) -> list[str]:
+    """Return the file's lines with fenced code blocks blanked out."""
+    out = []
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else line)
+    return out
+
+
+def github_slug(heading: str, seen: dict[str, int]) -> str:
+    """GitHub's anchor algorithm: lowercase, drop punctuation, hyphenate."""
+    # Inline code and links render as their text before slugification.
+    heading = re.sub(r"`([^`]*)`", r"\1", heading)
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    slug = slug.replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def anchors_of(path: pathlib.Path, cache: dict) -> set[str]:
+    if path not in cache:
+        seen: dict[str, int] = {}
+        anchors = set()
+        for line in strip_fenced_code(path.read_text(encoding="utf-8")):
+            m = HEADING_RE.match(line)
+            if m:
+                anchors.add(github_slug(m.group(2), seen))
+        cache[path] = anchors
+    return cache[path]
+
+
+def check(root: pathlib.Path) -> tuple[list[str], int]:
+    errors = []
+    anchor_cache: dict = {}
+    md_files = sorted(
+        p for p in root.rglob("*.md")
+        if not any(part.startswith(".") or part.startswith("build")
+                   for part in p.relative_to(root).parts))
+    for md in md_files:
+        lines = strip_fenced_code(md.read_text(encoding="utf-8"))
+        for line_no, line in enumerate(lines, 1):
+            # Inline code spans can hold example links; skip them too.
+            line = re.sub(r"`[^`]*`", "", line)
+            for m in LINK_RE.finditer(line):
+                target = m.group(1)
+                if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:
+                    continue
+                where = f"{md.relative_to(root)}:{line_no}"
+                path_part, _, anchor = target.partition("#")
+                dest = md if not path_part else (md.parent /
+                                                 path_part).resolve()
+                if path_part and not dest.exists():
+                    errors.append(f"{where}: broken link '{target}' "
+                                  f"(no such file)")
+                    continue
+                if anchor and dest.suffix == ".md" and dest.is_file():
+                    if anchor not in anchors_of(dest, anchor_cache):
+                        errors.append(f"{where}: broken anchor '{target}' "
+                                      f"(no heading '#{anchor}')")
+    return errors, len(md_files)
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    errors, count = check(root)
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} broken markdown link(s)", file=sys.stderr)
+        return 1
+    print(f"markdown links OK ({count} files scanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
