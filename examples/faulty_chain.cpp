@@ -20,6 +20,19 @@
 //   fault stall NF3 at=0.7
 //   on_dead chain backpressure
 //
+// A second run then exercises the storage fault domain (DESIGN.md §12):
+// a logging NF writes every packet through libnf's async-I/O engine while
+// the shared block device wedges outright for 100 ms. With completion
+// deadlines, bounded retries and on_io_fail=shed, the engine detects the
+// wedge within a few timeout periods, degrades to process-without-logging
+// and re-attaches the device via recovery probes. In config-file form:
+//
+//   io         logger mode=async buffer=262144
+//   io_timeout logger us=1000
+//   io_retry   logger max=4 backoff_us=10 multiplier=2 jitter=0.1
+//   on_io_fail logger shed
+//   device_fault wedge at=0.2 for=0.1
+//
 // Build & run:  ./build/examples/faulty_chain
 
 #include <iostream>
@@ -81,5 +94,43 @@ int main() {
   const auto cm = sim.chain_metrics(chain);
   std::cout << "\nChain: egress=" << cm.egress_packets
             << " entry_discards=" << cm.entry_throttle_drops << "\n";
+
+  // -- storage fault domain variant (DESIGN.md §12) --------------------------
+  // A logging NF keeps forwarding packets while the disk wedges for
+  // 100 ms: deadlines catch the hung flush, retries exhaust, the engine
+  // sheds logging, and a recovery probe re-attaches the healed device.
+  nfvnice::Simulation sim2(cfg);
+  const auto core2 = sim2.add_core(nfvnice::SchedPolicy::kCfsBatch);
+  const auto logger =
+      sim2.add_nf("logger", core2, nfv::nf::CostModel::fixed(300));
+  const auto lchain = sim2.add_chain("logged", {logger});
+  sim2.add_udp_flow(lchain, 2e6);
+
+  nfv::io::AsyncIoEngine::Config io_cfg;
+  io_cfg.buffer_bytes = 256 * 1024;
+  auto& io = sim2.attach_io(logger, io_cfg);
+  io.set_timeout(sim2.clock().from_micros(1000));
+  io.set_retry(4, sim2.clock().from_micros(10), 2.0, 0.1);
+  io.set_on_fail(nfv::io::AsyncIoEngine::OnIoFail::kShed);
+  sim2.nf(logger).set_handler([&io](nfv::pktio::Mbuf& pkt) {
+    io.write(pkt.size_bytes);
+    return nfv::nf::NfAction::kForward;
+  });
+
+  nfv::fault::FaultPlan storage_plan;
+  storage_plan.add_device_wedge(sim2.clock().from_seconds(0.2),
+                                sim2.clock().from_seconds(0.1));
+  sim2.set_fault_plan(std::move(storage_plan));
+  sim2.run_for_seconds(0.5);
+
+  std::cout << "\nStorage fault domain (100 ms device wedge, "
+            << "on_io_fail=shed):\n"
+            << "  logger egress=" << sim2.chain_metrics(lchain).egress_packets
+            << " timeouts=" << io.timeouts() << " retries=" << io.retries()
+            << " dropped_writes=" << io.dropped_writes()
+            << "\n  degraded_entries=" << io.degraded_entries()
+            << " probes=" << io.probes() << " degraded_for="
+            << clk.to_millis(io.time_in_degraded(sim2.engine().now()))
+            << "ms now_degraded=" << (io.degraded() ? "yes" : "no") << "\n";
   return 0;
 }

@@ -192,6 +192,177 @@ Topology load(std::istream& in, core::Simulation& sim) {
             sim.add_tcp_flow(it->second, tcp_opts).first;
       }
 
+    } else if (verb == "io") {
+      if (tokens.size() < 2) {
+        throw ConfigError(line_no, "io takes an nf and key=value options");
+      }
+      const auto it = topo.nfs.find(tokens[1]);
+      if (it == topo.nfs.end()) {
+        throw ConfigError(line_no, "unknown nf '" + tokens[1] + "'");
+      }
+      if (topo.ios.count(tokens[1]) != 0) {
+        throw ConfigError(line_no, "nf '" + tokens[1] + "' already has io");
+      }
+      io::AsyncIoEngine::Config io_cfg;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        std::string key, value;
+        if (!split_kv(tokens[i], key, value)) {
+          throw ConfigError(line_no, "expected key=value, got '" + tokens[i] + "'");
+        }
+        if (key == "mode") {
+          if (value == "async") {
+            io_cfg.mode = io::AsyncIoEngine::Mode::kDoubleBuffered;
+          } else if (value == "sync") {
+            io_cfg.mode = io::AsyncIoEngine::Mode::kSynchronous;
+          } else {
+            throw ConfigError(line_no, "unknown io mode '" + value + "'");
+          }
+        } else if (key == "buffer") {
+          io_cfg.buffer_bytes = static_cast<std::uint64_t>(
+              parse_double(line_no, value, "buffer"));
+        } else if (key == "flush_us") {
+          io_cfg.flush_interval = sim.clock().from_micros(
+              parse_double(line_no, value, "flush_us"));
+        } else {
+          throw ConfigError(line_no, "unknown io option '" + key + "'");
+        }
+      }
+      topo.ios[tokens[1]] = &sim.attach_io(it->second, io_cfg);
+
+    } else if (verb == "io_timeout" || verb == "io_retry" ||
+               verb == "on_io_fail") {
+      if (tokens.size() < 3) {
+        throw ConfigError(line_no, verb + " takes an nf and options");
+      }
+      const auto it = topo.ios.find(tokens[1]);
+      if (it == topo.ios.end()) {
+        throw ConfigError(line_no, "nf '" + tokens[1] +
+                                       "' has no io engine (declare io " +
+                                       tokens[1] + " first)");
+      }
+      io::AsyncIoEngine& io = *it->second;
+      if (verb == "io_timeout") {
+        double us = -1.0;
+        for (std::size_t i = 2; i < tokens.size(); ++i) {
+          std::string key, value;
+          if (!split_kv(tokens[i], key, value)) {
+            throw ConfigError(line_no,
+                              "expected key=value, got '" + tokens[i] + "'");
+          }
+          if (key == "us") {
+            us = parse_double(line_no, value, "us");
+          } else {
+            throw ConfigError(line_no, "unknown io_timeout option '" + key + "'");
+          }
+        }
+        if (us <= 0.0) throw ConfigError(line_no, "io_timeout needs us=<0<..>");
+        io.set_timeout(sim.clock().from_micros(us));
+      } else if (verb == "io_retry") {
+        const io::AsyncIoEngine::Config& cur = io.config();
+        double max_attempts = cur.max_attempts;
+        double backoff_us = -1.0;
+        double multiplier = cur.backoff_multiplier;
+        double jitter = cur.jitter_fraction;
+        for (std::size_t i = 2; i < tokens.size(); ++i) {
+          std::string key, value;
+          if (!split_kv(tokens[i], key, value)) {
+            throw ConfigError(line_no,
+                              "expected key=value, got '" + tokens[i] + "'");
+          }
+          const double parsed = parse_double(line_no, value, key);
+          if (key == "max") {
+            max_attempts = parsed;
+          } else if (key == "backoff_us") {
+            backoff_us = parsed;
+          } else if (key == "multiplier") {
+            multiplier = parsed;
+          } else if (key == "jitter") {
+            jitter = parsed;
+          } else {
+            throw ConfigError(line_no, "unknown io_retry option '" + key + "'");
+          }
+        }
+        if (max_attempts < 1.0) {
+          throw ConfigError(line_no, "io_retry needs max>=1");
+        }
+        if (backoff_us <= 0.0) {
+          throw ConfigError(line_no, "io_retry needs backoff_us=<0<..>");
+        }
+        if (jitter < 0.0 || jitter >= 1.0) {
+          throw ConfigError(line_no, "io_retry jitter must be in [0,1)");
+        }
+        io.set_retry(static_cast<std::uint32_t>(max_attempts),
+                     sim.clock().from_micros(backoff_us), multiplier, jitter);
+      } else {  // on_io_fail
+        const std::string& policy = tokens[2];
+        if (policy == "block") {
+          io.set_on_fail(io::AsyncIoEngine::OnIoFail::kBlock);
+        } else if (policy == "shed") {
+          io.set_on_fail(io::AsyncIoEngine::OnIoFail::kShed);
+        } else if (policy == "stuck") {
+          io.set_on_fail(io::AsyncIoEngine::OnIoFail::kStuck);
+        } else {
+          throw ConfigError(line_no, "unknown on_io_fail policy '" + policy + "'");
+        }
+      }
+
+    } else if (verb == "device_fault") {
+      if (tokens.size() < 3) {
+        throw ConfigError(line_no,
+                          "device_fault takes a kind and key=value options");
+      }
+      const std::string& kind = tokens[1];
+      double at_s = -1.0;
+      double factor = 0.0;
+      double fraction = -1.0;
+      double for_s = 0.0;
+      bool have_factor = false;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        std::string key, value;
+        if (!split_kv(tokens[i], key, value)) {
+          throw ConfigError(line_no, "expected key=value, got '" + tokens[i] + "'");
+        }
+        const double parsed = parse_double(line_no, value, key);
+        if (key == "at") {
+          at_s = parsed;
+        } else if (key == "factor") {
+          factor = parsed;
+          have_factor = true;
+        } else if (key == "fraction") {
+          fraction = parsed;
+        } else if (key == "for") {
+          for_s = parsed;
+        } else {
+          throw ConfigError(line_no, "unknown device_fault option '" + key + "'");
+        }
+      }
+      if (at_s < 0.0) {
+        throw ConfigError(line_no, "device_fault needs at=<seconds>");
+      }
+      const Cycles at = sim.clock().from_seconds(at_s);
+      const Cycles window = sim.clock().from_seconds(for_s);
+      if (kind == "slow" && !have_factor) {
+        throw ConfigError(line_no, "device_fault slow needs factor=<x>");
+      }
+      if (kind == "torn" && fraction < 0.0) {
+        throw ConfigError(line_no, "device_fault torn needs fraction=<f>");
+      }
+      try {
+        if (kind == "slow") {
+          plan.add_device_slow(at, factor, window);
+        } else if (kind == "error") {
+          plan.add_device_error(at, window);
+        } else if (kind == "torn") {
+          plan.add_device_torn(at, fraction, window);
+        } else if (kind == "wedge") {
+          plan.add_device_wedge(at, window);
+        } else {
+          throw ConfigError(line_no, "unknown device_fault kind '" + kind + "'");
+        }
+      } catch (const fault::FaultError& e) {
+        throw ConfigError(line_no, e.what());
+      }
+
     } else if (verb == "fault") {
       if (tokens.size() < 3) {
         throw ConfigError(line_no,

@@ -18,11 +18,18 @@
 //   fault stall nat0 at=0.2                      # watchdog-killed straggler
 //   fault slow dpi0 at=0.1 factor=3 for=0.2      # 3x service time for 200 ms
 //   on_dead web bypass                           # or: backpressure | buffer
+//   io nat0 mode=async buffer=262144 flush_us=500  # §3.4 async-I/O engine
+//   io_timeout nat0 us=100                       # storage fault domain,
+//   io_retry nat0 max=4 backoff_us=10 multiplier=2 jitter=0.1  # DESIGN.md §12
+//   on_io_fail nat0 shed                         # or: block | stuck
+//   device_fault wedge at=0.2 for=0.1            # or: slow factor=8 |
+//                                                #  error | torn fraction=0.5
 //
 // Identifiers are declared before use; errors carry line numbers. Fault
 // times are validated as the plan is built (negative times, non-positive
-// restart delays or factors, and overlapping fault windows on one NF are
-// rejected with the offending line).
+// restart delays or factors, and overlapping fault windows on one NF or
+// the device are rejected with the offending line). The io_timeout /
+// io_retry / on_io_fail directives require the NF's `io` line first.
 #pragma once
 
 #include <iosfwd>
@@ -53,6 +60,8 @@ struct Topology {
   std::map<std::string, flow::NfId> nfs;
   std::map<std::string, flow::ChainId> chains;
   std::map<std::string, flow::FlowId> flows;      ///< "udp0", "tcp1", ...
+  /// Async-I/O engines attached via `io <nf> ...`, by NF name (not owned).
+  std::map<std::string, io::AsyncIoEngine*> ios;
 };
 
 /// Parse `in` and apply it to `sim`. `mode` lines override the

@@ -208,7 +208,21 @@ void Simulation::ensure_started() {
   if (started_) return;
   started_ = true;
   manager_->start();
-  if (injector_) injector_->arm(*manager_);
+  // Storage fault domain (DESIGN.md §12): activate its observability only
+  // when it is actually in use — device faults in the plan, or an engine
+  // with a completion deadline configured — so fault-free reports keep the
+  // seed metrics layout byte-for-byte.
+  const bool device_faults =
+      injector_ && injector_->plan().has_device_faults();
+  bool io_fault_domain = device_faults;
+  for (const auto& io : io_engines_) {
+    if (io->fault_domain_enabled()) io_fault_domain = true;
+  }
+  if (io_fault_domain) {
+    disk().set_observability(&obs_);
+    for (auto& io : io_engines_) io->register_fault_metrics();
+  }
+  if (injector_) injector_->arm(*manager_, device_faults ? &disk() : nullptr);
   for (auto& src : udp_sources_) src->start();
   for (auto& src : tcp_sources_) src->start();
 }
@@ -265,6 +279,7 @@ void Simulation::attach_trace(obs::TraceRecorder& recorder) {
   recorder.set_lane_name(obs::kManagerLane, "nf-manager");
   recorder.set_lane_name(obs::kBackpressureLane, "backpressure");
   recorder.set_lane_name(obs::kLifecycleLane, "lifecycle");
+  recorder.set_lane_name(obs::kIoLane, "storage-io");
   obs_.attach_trace(&recorder);
 }
 

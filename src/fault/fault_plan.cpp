@@ -16,6 +16,22 @@ const char* to_string(FaultKind kind) {
       return "stall";
     case FaultKind::kDegrade:
       return "degrade";
+    case FaultKind::kDevice:
+      return "device";
+  }
+  return "?";
+}
+
+const char* to_string(DeviceFaultKind kind) {
+  switch (kind) {
+    case DeviceFaultKind::kSlow:
+      return "slow";
+    case DeviceFaultKind::kError:
+      return "error";
+    case DeviceFaultKind::kTorn:
+      return "torn";
+    case DeviceFaultKind::kWedge:
+      return "wedge";
   }
   return "?";
 }
@@ -30,6 +46,7 @@ Cycles FaultSpec::window_end() const {
                  ? at + restart_after
                  : kForever;
     case FaultKind::kDegrade:
+    case FaultKind::kDevice:
       return duration > 0 && at <= kForever - duration ? at + duration
                                                        : kForever;
   }
@@ -65,10 +82,57 @@ void FaultPlan::add_degrade(flow::NfId nf, Cycles at, double factor,
   add(spec);
 }
 
+void FaultPlan::add_device_slow(Cycles at, double factor, Cycles duration) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kDevice;
+  spec.device = DeviceFaultKind::kSlow;
+  spec.at = at;
+  spec.factor = factor;
+  spec.duration = duration;
+  add(spec);
+}
+
+void FaultPlan::add_device_error(Cycles at, Cycles duration) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kDevice;
+  spec.device = DeviceFaultKind::kError;
+  spec.at = at;
+  spec.duration = duration;
+  add(spec);
+}
+
+void FaultPlan::add_device_torn(Cycles at, double fraction, Cycles duration) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kDevice;
+  spec.device = DeviceFaultKind::kTorn;
+  spec.at = at;
+  spec.factor = fraction;
+  spec.duration = duration;
+  add(spec);
+}
+
+void FaultPlan::add_device_wedge(Cycles at, Cycles duration) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kDevice;
+  spec.device = DeviceFaultKind::kWedge;
+  spec.at = at;
+  spec.duration = duration;
+  add(spec);
+}
+
+bool FaultPlan::has_device_faults() const {
+  for (const FaultSpec& spec : specs_) {
+    if (spec.kind == FaultKind::kDevice) return true;
+  }
+  return false;
+}
+
 void FaultPlan::add(FaultSpec spec) {
   const std::string what =
-      std::string(to_string(spec.kind)) + " fault on nf " +
-      std::to_string(spec.nf);
+      spec.kind == FaultKind::kDevice
+          ? std::string("device ") + to_string(spec.device) + " fault"
+          : std::string(to_string(spec.kind)) + " fault on nf " +
+                std::to_string(spec.nf);
   if (spec.at < 0) {
     throw FaultError(what + ": injection time must be >= 0");
   }
@@ -84,14 +148,33 @@ void FaultPlan::add(FaultSpec spec) {
       throw FaultError(what + ": degrade duration must be >= 0");
     }
   }
+  if (spec.kind == FaultKind::kDevice) {
+    if (spec.duration < 0) {
+      throw FaultError(what + ": duration must be >= 0");
+    }
+    if (spec.device == DeviceFaultKind::kSlow && spec.factor <= 0.0) {
+      throw FaultError(what + ": latency factor must be > 0");
+    }
+    if (spec.device == DeviceFaultKind::kTorn &&
+        (spec.factor < 0.0 || spec.factor >= 1.0)) {
+      throw FaultError(what + ": torn fraction must be in [0, 1)");
+    }
+  }
   // One NF, one fault at a time: overlapping windows on the same NF would
   // make the lifecycle state machine ambiguous (e.g. a crash landing inside
-  // an unresolved stall). Windows are half-open [at, window_end()).
+  // an unresolved stall). The device is its own domain with the same rule —
+  // device windows must not overlap each other, but they may overlap NF
+  // windows freely. Windows are half-open [at, window_end()).
+  const bool on_device = spec.kind == FaultKind::kDevice;
   for (const FaultSpec& other : specs_) {
-    if (other.nf != spec.nf) continue;
+    if ((other.kind == FaultKind::kDevice) != on_device) continue;
+    if (!on_device && other.nf != spec.nf) continue;
     if (spec.at < other.window_end() && other.at < spec.window_end()) {
-      throw FaultError(what + ": overlaps an earlier " +
-                       to_string(other.kind) + " fault on the same NF");
+      throw FaultError(
+          what + ": overlaps an earlier " +
+          (on_device ? std::string("device ") + to_string(other.device)
+                     : std::string(to_string(other.kind))) +
+          " fault on the same " + (on_device ? "device" : "NF"));
     }
   }
   specs_.push_back(spec);

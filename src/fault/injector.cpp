@@ -14,8 +14,10 @@ FaultInjector::~FaultInjector() {
   for (const sim::EventId id : events_) engine_.cancel(id);
 }
 
-void FaultInjector::arm(FaultSink& sink) {
+void FaultInjector::arm(FaultSink& sink, DeviceFaultSink* device) {
   assert(!armed_ && "a fault plan is armed once");
+  assert((device != nullptr || !plan_.has_device_faults()) &&
+         "a plan with device faults needs a device sink");
   armed_ = true;
   FaultSink* s = &sink;
   for (const FaultSpec& spec : plan_.specs()) {
@@ -38,6 +40,17 @@ void FaultInjector::arm(FaultSink& sink) {
           events_.push_back(engine_.schedule_at(
               at + spec.duration,
               [s, spec] { s->restore_degrade(spec.nf); }));
+        }
+        break;
+      case FaultKind::kDevice:
+        events_.push_back(engine_.schedule_at(at, [device, spec] {
+          device->inject_device_fault(spec.device, spec.factor);
+        }));
+        if (spec.duration > 0) {
+          events_.push_back(
+              engine_.schedule_at(at + spec.duration, [device, spec] {
+                device->restore_device_fault(spec.device);
+              }));
         }
         break;
     }

@@ -29,6 +29,19 @@ class FaultSink {
   virtual void restore_degrade(flow::NfId nf) = 0;
 };
 
+/// The storage-domain actuator (DESIGN.md §12); implemented by the
+/// simulated BlockDevice. Lives here, not in src/io, so the fault library
+/// stays independent of the I/O library (io links fault, not vice versa).
+class DeviceFaultSink {
+ public:
+  virtual ~DeviceFaultSink() = default;
+  /// Start a fault window of `kind`. `factor` carries the latency scale
+  /// (kSlow) or the landed-bytes fraction (kTorn); other kinds ignore it.
+  virtual void inject_device_fault(DeviceFaultKind kind, double factor) = 0;
+  /// End a bounded window of `kind` (restore healthy behaviour).
+  virtual void restore_device_fault(DeviceFaultKind kind) = 0;
+};
+
 class FaultInjector {
  public:
   FaultInjector(sim::Engine& engine, FaultPlan plan);
@@ -39,8 +52,10 @@ class FaultInjector {
 
   /// Schedule every spec on the engine. Call once, before the run; specs
   /// whose instant already passed fire immediately (clamped to now).
-  /// `sink` must outlive the engine's activity.
-  void arm(FaultSink& sink);
+  /// `sink` — and `device`, when the plan has device faults — must outlive
+  /// the engine's activity. A plan with device specs requires a non-null
+  /// `device`.
+  void arm(FaultSink& sink, DeviceFaultSink* device = nullptr);
 
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
   [[nodiscard]] bool armed() const { return armed_; }

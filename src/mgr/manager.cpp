@@ -654,7 +654,15 @@ void Manager::begin_restart(flow::NfId id, Cycles now) {
   // when it has one (state lives behind the same device its handlers use);
   // stateless NFs pay a fixed spawn+mmap latency instead.
   if (auto* io = rec.task->io()) {
-    io->read(config_.lifecycle.reload_bytes, [this, id] { finish_restart(id); });
+    // A failing device must not wedge the restart: if the reload read
+    // exhausts its retry budget, fall back to the stateless spawn latency
+    // (operationally: restore from the warm peer instead of local disk).
+    io->read(
+        config_.lifecycle.reload_bytes, [this, id] { finish_restart(id); },
+        [this, id] {
+          engine_.schedule_after(config_.lifecycle.reload_latency,
+                                 [this, id] { finish_restart(id); });
+        });
   } else {
     engine_.schedule_after(config_.lifecycle.reload_latency,
                            [this, id] { finish_restart(id); });

@@ -69,6 +69,17 @@ void NfTask::attach_io(io::AsyncIoEngine* io_engine) {
       core()->wake(this);
     }
   });
+  // Storage fault domain, on_io_fail = stuck: an unrecoverable I/O failure
+  // freezes the NF exactly like an injected stall — it spins on the CPU
+  // until the watchdog's evidence-based diagnosis force-kills and restarts
+  // it (DeadNfPolicy then governs the chain).
+  io_->set_fatal_callback([this] {
+    if (dead_ || stalled_) return;
+    stall();
+    if (state() == sched::TaskState::kBlocked && core() != nullptr) {
+      core()->wake(this);
+    }
+  });
 }
 
 bool NfTask::has_runnable_work() const {

@@ -30,6 +30,9 @@ namespace nfv::obs {
 inline constexpr std::uint32_t kManagerLane = 900;
 inline constexpr std::uint32_t kBackpressureLane = 901;
 inline constexpr std::uint32_t kLifecycleLane = 902;
+/// Storage fault domain: device fault windows, I/O timeouts/retries,
+/// degraded-mode entry/exit (DESIGN.md §12).
+inline constexpr std::uint32_t kIoLane = 903;
 
 struct TraceEvent {
   Cycles ts = 0;            ///< Engine time the event fired.

@@ -258,5 +258,117 @@ TEST(ConfigLoader, OnDeadUnknownPolicyFails) {
                ConfigError);
 }
 
+// -- storage fault domain directives (DESIGN.md §12) -------------------------
+
+TEST(ConfigLoader, IoDirectivesParsed) {
+  Simulation sim;
+  const auto topo = load_string(R"(
+    core batch
+    nf a core=0 cost=120
+    chain c a
+    udp c rate=1e5
+    io a mode=async buffer=4096 flush_us=500
+    io_timeout a us=100
+    io_retry a max=3 backoff_us=10 multiplier=1.5 jitter=0.2
+    on_io_fail a shed
+  )",
+                                sim);
+  ASSERT_EQ(topo.ios.count("a"), 1u);
+  const auto& cfg = topo.ios.at("a")->config();
+  EXPECT_EQ(cfg.mode, io::AsyncIoEngine::Mode::kDoubleBuffered);
+  EXPECT_EQ(cfg.buffer_bytes, 4096u);
+  EXPECT_EQ(cfg.flush_interval, sim.clock().from_micros(500));
+  EXPECT_EQ(cfg.io_timeout, sim.clock().from_micros(100));
+  EXPECT_EQ(cfg.max_attempts, 3u);
+  EXPECT_EQ(cfg.retry_backoff, sim.clock().from_micros(10));
+  EXPECT_DOUBLE_EQ(cfg.backoff_multiplier, 1.5);
+  EXPECT_DOUBLE_EQ(cfg.jitter_fraction, 0.2);
+  EXPECT_EQ(cfg.on_fail, io::AsyncIoEngine::OnIoFail::kShed);
+  EXPECT_TRUE(topo.ios.at("a")->fault_domain_enabled());
+}
+
+TEST(ConfigLoader, DeviceFaultDirectiveArmsTheDevice) {
+  Simulation sim;
+  load_string(R"(
+    core batch
+    nf a core=0 cost=120
+    chain c a
+    udp c rate=1e5
+    io a mode=sync
+    device_fault wedge at=0.01
+  )",
+              sim);
+  sim.run_for_seconds(0.02);
+  EXPECT_TRUE(sim.disk().wedged());  // the plan reached the device
+}
+
+TEST(ConfigLoader, IoTimeoutWithoutIoLineFails) {
+  Simulation sim;
+  try {
+    load_string("core batch\nnf a core=0 cost=1\nio_timeout a us=100\n", sim);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_NE(std::string(e.what()).find("no io engine"), std::string::npos);
+  }
+}
+
+TEST(ConfigLoader, DuplicateIoLineFails) {
+  Simulation sim;
+  EXPECT_THROW(load_string("core batch\nnf a core=0 cost=1\n"
+                           "io a mode=async\nio a mode=sync\n",
+                           sim),
+               ConfigError);
+}
+
+TEST(ConfigLoader, IoRetryValidatesRanges) {
+  Simulation sim;
+  const std::string prelude =
+      "core batch\nnf a core=0 cost=1\nio a mode=async\n";
+  EXPECT_THROW(load_string(prelude + "io_retry a max=0 backoff_us=10\n", sim),
+               ConfigError);
+  EXPECT_THROW(load_string(prelude + "io_retry a max=2\n", sim), ConfigError);
+  EXPECT_THROW(
+      load_string(prelude + "io_retry a max=2 backoff_us=10 jitter=1.0\n", sim),
+      ConfigError);
+}
+
+TEST(ConfigLoader, OnIoFailUnknownPolicyFails) {
+  Simulation sim;
+  EXPECT_THROW(load_string("core batch\nnf a core=0 cost=1\n"
+                           "io a mode=async\non_io_fail a explode\n",
+                           sim),
+               ConfigError);
+}
+
+TEST(ConfigLoader, DeviceFaultValidation) {
+  Simulation sim;
+  EXPECT_THROW(load_string("core batch\ndevice_fault slow at=0.1\n", sim),
+               ConfigError);  // slow needs factor=
+  EXPECT_THROW(load_string("core batch\ndevice_fault torn at=0.1\n", sim),
+               ConfigError);  // torn needs fraction=
+  EXPECT_THROW(load_string("core batch\ndevice_fault melt at=0.1\n", sim),
+               ConfigError);  // unknown kind
+  EXPECT_THROW(load_string("core batch\ndevice_fault wedge for=0.1\n", sim),
+               ConfigError);  // missing at=
+}
+
+// Device-window overlap validation happens in FaultPlan; the loader must
+// rewrap the FaultError with the offending line.
+TEST(ConfigLoader, OverlappingDeviceFaultsCarryLineNumbers) {
+  Simulation sim;
+  try {
+    load_string(
+        "core batch\n"
+        "device_fault wedge at=0.1 for=0.1\n"
+        "device_fault error at=0.15 for=0.1\n",
+        sim);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_NE(std::string(e.what()).find("overlap"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace nfv::config

@@ -70,6 +70,71 @@ TEST(FaultPlan, DefaultRestartIsOpenEnded) {
   EXPECT_EQ(plan.specs().size(), 1u);
 }
 
+// -- storage fault domain (DESIGN.md §12) ------------------------------------
+
+TEST(FaultPlanDevice, AddAllDeviceKinds) {
+  FaultPlan plan;
+  plan.add_device_slow(1000, 8.0, 500);
+  plan.add_device_error(2000, 500);
+  plan.add_device_torn(3000, 0.5, 500);
+  plan.add_device_wedge(4000, 500);
+  EXPECT_EQ(plan.size(), 4u);
+  EXPECT_TRUE(plan.has_device_faults());
+  for (const FaultSpec& spec : plan.specs()) {
+    EXPECT_EQ(spec.kind, FaultKind::kDevice);
+  }
+  EXPECT_EQ(plan.specs()[0].device, DeviceFaultKind::kSlow);
+  EXPECT_DOUBLE_EQ(plan.specs()[0].factor, 8.0);
+  EXPECT_EQ(plan.specs()[3].device, DeviceFaultKind::kWedge);
+}
+
+TEST(FaultPlanDevice, NfOnlyPlanHasNoDeviceFaults) {
+  FaultPlan plan;
+  plan.add_crash(0, 1000, 100);
+  EXPECT_FALSE(plan.has_device_faults());
+}
+
+TEST(FaultPlanDevice, RejectsBadParameters) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.add_device_slow(1000, /*factor=*/0.0, 100), FaultError);
+  EXPECT_THROW(plan.add_device_slow(1000, /*factor=*/-3.0, 100), FaultError);
+  EXPECT_THROW(plan.add_device_torn(1000, /*fraction=*/-0.1, 100), FaultError);
+  // A torn window landing all the bytes is not torn; the fraction must be
+  // strictly below 1.
+  EXPECT_THROW(plan.add_device_torn(1000, /*fraction=*/1.0, 100), FaultError);
+  EXPECT_THROW(plan.add_device_wedge(-5, 100), FaultError);
+  EXPECT_TRUE(plan.empty());
+  plan.add_device_torn(1000, /*fraction=*/0.0, 100);  // nothing lands: valid
+  EXPECT_EQ(plan.size(), 1u);
+}
+
+TEST(FaultPlanDevice, RejectsOverlappingDeviceWindows) {
+  FaultPlan plan;
+  plan.add_device_wedge(1000, 500);  // [1000, 1500)
+  EXPECT_THROW(plan.add_device_error(1200, 100), FaultError);
+  EXPECT_THROW(plan.add_device_slow(1000, 2.0, 100), FaultError);
+  // Half-open windows: back-to-back is fine.
+  plan.add_device_error(1500, 100);
+  EXPECT_EQ(plan.size(), 2u);
+}
+
+TEST(FaultPlanDevice, PermanentWindowBlocksEverythingAfter) {
+  FaultPlan plan;
+  plan.add_device_wedge(1000);  // duration 0: wedged until the end
+  EXPECT_THROW(plan.add_device_error(1'000'000'000, 100), FaultError);
+  EXPECT_EQ(plan.size(), 1u);
+}
+
+TEST(FaultPlanDevice, DeviceWindowsAreSeparateFromNfWindows) {
+  FaultPlan plan;
+  plan.add_degrade(/*nf=*/0, 1000, 2.0, 500);
+  // The device is its own overlap domain: a device window under an NF
+  // window is fine (and vice versa).
+  plan.add_device_wedge(1000, 500);
+  plan.add_crash(/*nf=*/1, 1200, 100);
+  EXPECT_EQ(plan.size(), 3u);
+}
+
 TEST(FaultSpec, WindowEnd) {
   FaultSpec crash{FaultKind::kCrash, 0, 1000, 500, 1.0, 0};
   EXPECT_EQ(crash.window_end(), 1500);

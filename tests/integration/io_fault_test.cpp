@@ -1,0 +1,315 @@
+// Storage fault domain, end to end (DESIGN.md §12): seed-equivalence
+// goldens for the unfaulted async-I/O path, byte-determinism of faulted
+// runs, and the degraded-mode contracts — bounded detection, entry
+// backpressure, bounded staging, drain-to-zero, watchdog escalation and
+// the restart-reload fallback on a dead device.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "core/simulation.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace nfv::core {
+namespace {
+
+/// The Fig. 14 logging scenario the goldens pin: two chains share a
+/// logger (writes chain-1 packets to disk) and a forwarder on one BATCH
+/// core; 2+2 Mpps offered, optionally stopping so drain can be asserted.
+struct LoggerSim {
+  std::unique_ptr<Simulation> sim;
+  flow::NfId logger = 0;
+  flow::NfId fwd = 0;
+  flow::ChainId chain1 = 0;
+  flow::ChainId chain2 = 0;
+  io::AsyncIoEngine* io = nullptr;
+};
+
+LoggerSim make_logger_sim(bool async_io, double stop_seconds = -1.0) {
+  LoggerSim s;
+  s.sim = std::make_unique<Simulation>();
+  const auto core_id = s.sim->add_core(SchedPolicy::kCfsBatch);
+  s.logger = s.sim->add_nf("logger", core_id, nf::CostModel::fixed(300));
+  s.fwd = s.sim->add_nf("fwd", core_id, nf::CostModel::fixed(150));
+  s.chain1 = s.sim->add_chain("logged", {s.logger, s.fwd});
+  s.chain2 = s.sim->add_chain("plain", {s.logger, s.fwd});
+
+  io::AsyncIoEngine::Config io_cfg;
+  io_cfg.mode = async_io ? io::AsyncIoEngine::Mode::kDoubleBuffered
+                         : io::AsyncIoEngine::Mode::kSynchronous;
+  io_cfg.buffer_bytes = 256 * 1024;
+  s.io = &s.sim->attach_io(s.logger, io_cfg);
+
+  auto* io_engine = s.io;
+  const auto chain1 = s.chain1;
+  s.sim->nf(s.logger).set_handler([io_engine, chain1](pktio::Mbuf& pkt) {
+    if (pkt.chain_id == chain1) io_engine->write(pkt.size_bytes);
+    return nf::NfAction::kForward;
+  });
+
+  UdpOptions opts;
+  opts.stop_seconds = stop_seconds;
+  s.sim->add_udp_flow(s.chain1, 2e6, opts);
+  s.sim->add_udp_flow(s.chain2, 2e6, opts);
+  return s;
+}
+
+/// Fault-domain knobs used by every faulted scenario below: a 1 ms
+/// completion deadline (a healthy 256 KiB flush takes ~0.55 ms, so only
+/// genuinely hung requests time out), 4 attempts, 10 us base backoff.
+void arm_fault_domain(io::AsyncIoEngine& io) {
+  io.set_timeout(2'600'000);
+  io.set_retry(4, 26'000, 2.0, 0.1);
+}
+
+/// The engine's effective recovery-probe period for the config above.
+Cycles probe_period(const io::AsyncIoEngine& io) {
+  return 4 * std::max(io.config().io_timeout, io.config().retry_backoff);
+}
+
+// ---------------------------------------------------------------------------
+// Seed equivalence: the fault domain (state machine, deadline plumbing,
+// status-bearing completions) must leave the unfaulted event schedule
+// byte-identical. These counters were captured from the pre-fault-domain
+// build of this exact scenario; dispatched_events pins the full schedule.
+
+TEST(IoFault, GoldenCountersSyncUnchanged) {
+  LoggerSim s = make_logger_sim(/*async_io=*/false);
+  s.sim->run_for_seconds(0.1);
+  EXPECT_EQ(s.sim->chain_metrics(s.chain1).egress_packets, 4'574u);
+  EXPECT_EQ(s.sim->chain_metrics(s.chain2).egress_packets, 4'576u);
+  EXPECT_EQ(s.io->writes(), 4'575u);
+  EXPECT_EQ(s.io->flushes(), 0u);
+  EXPECT_EQ(s.io->bytes_written(), 292'800u);
+  EXPECT_EQ(s.io->block_transitions(), 4'575u);
+  EXPECT_EQ(s.sim->disk().requests(), 4'575u);
+  EXPECT_EQ(s.sim->disk().busy_cycles(), 239'437'200u);
+  EXPECT_EQ(s.sim->nf_metrics(s.logger).processed, 9'151u);
+  EXPECT_EQ(s.sim->engine().dispatched_events(), 101'374u);
+  // The fault domain stayed dormant: no deadline/retry/probe events, no
+  // fault counters moving, no fault metrics in the report.
+  EXPECT_EQ(s.io->timeouts(), 0u);
+  EXPECT_EQ(s.io->retries(), 0u);
+  // Traffic is still flowing at the 0.1 s cutoff, so exactly the one
+  // sync write being serviced at stop time is live.
+  EXPECT_EQ(s.io->live_requests(), 1u);
+  EXPECT_EQ(s.sim->report_json().find("io.retries"), std::string::npos);
+}
+
+TEST(IoFault, GoldenCountersAsyncUnchanged) {
+  LoggerSim s = make_logger_sim(/*async_io=*/true);
+  s.sim->run_for_seconds(0.1);
+  EXPECT_EQ(s.sim->chain_metrics(s.chain1).egress_packets, 199'960u);
+  EXPECT_EQ(s.sim->chain_metrics(s.chain2).egress_packets, 199'968u);
+  EXPECT_EQ(s.io->writes(), 200'000u);
+  EXPECT_EQ(s.io->flushes(), 48u);
+  EXPECT_EQ(s.io->bytes_written(), 12'800'000u);
+  EXPECT_EQ(s.io->block_transitions(), 0u);
+  EXPECT_EQ(s.sim->disk().requests(), 48u);
+  EXPECT_EQ(s.sim->disk().busy_cycles(), 68'721'840u);
+  EXPECT_EQ(s.sim->nf_metrics(s.logger).processed, 400'001u);
+  EXPECT_EQ(s.sim->engine().dispatched_events(), 900'688u);
+  EXPECT_EQ(s.io->degraded_entries(), 0u);
+  EXPECT_EQ(s.sim->report_json().find("disk.requests"), std::string::npos);
+}
+
+// A plan with NF faults but no device faults must not activate the
+// storage fault domain's metrics or arm the device sink.
+TEST(IoFault, NfOnlyPlanKeepsStorageDomainDormant) {
+  LoggerSim s = make_logger_sim(/*async_io=*/true);
+  fault::FaultPlan plan;
+  plan.add_crash(s.fwd, s.sim->clock().from_seconds(0.05),
+                 s.sim->clock().from_seconds(0.01));
+  s.sim->set_fault_plan(std::move(plan));
+  s.sim->run_for_seconds(0.1);
+  const std::string report = s.sim->report_json();
+  EXPECT_EQ(report.find("io.retries"), std::string::npos);
+  EXPECT_EQ(report.find("disk.requests"), std::string::npos);
+  EXPECT_EQ(s.io->timeouts(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: faulted runs are byte-identical across repeats. (The
+// worker-count invariance of whole simulations is covered by the
+// ParallelRunner determinism suite; device faults ride the same engine.)
+
+TEST(IoFault, FaultedRunByteDeterministic) {
+  auto build = [] {
+    LoggerSim s = make_logger_sim(/*async_io=*/true);
+    arm_fault_domain(*s.io);
+    fault::FaultPlan plan;
+    plan.add_device_slow(s.sim->clock().from_seconds(0.01), 6.0,
+                         s.sim->clock().from_seconds(0.02));
+    plan.add_device_wedge(s.sim->clock().from_seconds(0.04),
+                          s.sim->clock().from_seconds(0.02));
+    plan.add_device_error(s.sim->clock().from_seconds(0.07),
+                          s.sim->clock().from_seconds(0.003));
+    s.sim->set_fault_plan(std::move(plan));
+    return s;
+  };
+  LoggerSim s1 = build();
+  LoggerSim s2 = build();
+  s1.sim->run_for_seconds(0.15);
+  s2.sim->run_for_seconds(0.15);
+  std::ostringstream r1, r2;
+  s1.sim->report_json(r1);
+  s2.sim->report_json(r2);
+  EXPECT_EQ(r1.str(), r2.str());
+  // The faults actually bit: the report carries the fault-domain metrics
+  // and the wedge produced deadline expirations.
+  EXPECT_NE(r1.str().find("io.retries"), std::string::npos);
+  EXPECT_NE(r1.str().find("disk.requests"), std::string::npos);
+  EXPECT_GT(s1.io->timeouts(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Degraded-mode contracts under a permanently wedged device.
+
+// on_io_fail = shed: the NF reaches degraded mode within a bounded number
+// of timeout periods, keeps processing without logging, staging stays
+// bounded, and the simulation drains to zero after traffic stops.
+TEST(IoFault, PermanentWedgeShedModeBoundedAndDrains) {
+  LoggerSim s = make_logger_sim(/*async_io=*/true, /*stop_seconds=*/0.08);
+  arm_fault_domain(*s.io);
+  s.io->set_on_fail(io::AsyncIoEngine::OnIoFail::kShed);
+  fault::FaultPlan plan;
+  plan.add_device_wedge(s.sim->clock().from_seconds(0.02));  // permanent
+  s.sim->set_fault_plan(std::move(plan));
+
+  // Detection bound: the next buffer fill (~2.1 ms apart) hangs, then 4
+  // attempts each expire a 1 ms deadline plus jittered 10/20/40 us
+  // backoffs — degraded well before wedge + 10 ms.
+  s.sim->run_for_seconds(0.03);
+  EXPECT_TRUE(s.io->degraded());
+  EXPECT_EQ(s.io->degraded_entries(), 1u);
+  EXPECT_GE(s.io->timeouts(), 4u);
+  EXPECT_EQ(s.io->failures(), 1u);
+
+  s.sim->run_for_seconds(0.05);  // t = 80 ms, still wedged
+  // Process-without-logging: the NF keeps forwarding both chains while
+  // degraded; dropped writes account for every shed byte, and the staged
+  // buffer was flushed out of existence rather than growing.
+  EXPECT_TRUE(s.io->degraded());
+  EXPECT_GT(s.io->dropped_writes(), 0u);
+  EXPECT_GT(s.io->shed_bytes(), 0u);
+  EXPECT_LE(s.io->staged_bytes(), 4 * s.io->config().buffer_bytes);
+  EXPECT_GT(s.sim->chain_metrics(s.chain2).egress_packets, 100'000u);
+  // Recovery probes keep testing the device (and keep failing).
+  EXPECT_GT(s.io->probes(), 0u);
+  EXPECT_EQ(s.io->failures(), 1u);  // probes are single-shot, not failures
+
+  // Traffic stopped at 80 ms: everything in flight drains to zero.
+  s.sim->run_for_seconds(0.04);
+  EXPECT_EQ(s.sim->nf_metrics(s.logger).rx_queue_len, 0u);
+  EXPECT_EQ(s.sim->nf_metrics(s.fwd).rx_queue_len, 0u);
+  EXPECT_EQ(s.sim->pool().in_use(), 0u);
+}
+
+// on_io_fail = block with a bounded wedge window: the NF blocks, its RX
+// queue grows until entry backpressure sheds at the chain entry (Fig. 4),
+// and once the window ends a recovery probe re-delivers the parked flush,
+// exits degraded mode and the backlog drains to zero. Nothing is dropped
+// from the I/O path itself.
+TEST(IoFault, BoundedWedgeBlockModeBackpressureAndRecovery) {
+  LoggerSim s = make_logger_sim(/*async_io=*/true, /*stop_seconds=*/0.15);
+  arm_fault_domain(*s.io);  // on_fail defaults to kBlock
+  fault::FaultPlan plan;
+  plan.add_device_wedge(s.sim->clock().from_seconds(0.02),
+                        s.sim->clock().from_seconds(0.03));
+  s.sim->set_fault_plan(std::move(plan));
+
+  s.sim->run_for_seconds(0.04);  // mid-wedge
+  EXPECT_TRUE(s.io->degraded());
+  EXPECT_TRUE(s.io->would_block());
+  // Entry backpressure engaged: the blocked logger's queue crossed the
+  // high watermark and both chains shed at the wire, not mid-chain.
+  EXPECT_GT(s.sim->chain_metrics(s.chain1).entry_throttle_drops, 0u);
+  EXPECT_EQ(s.sim->nf_metrics(s.fwd).rx_full_drops, 0u);
+  // Staging stays bounded even while parked.
+  EXPECT_LE(s.io->staged_bytes(), 4 * s.io->config().buffer_bytes);
+
+  s.sim->run_for_seconds(0.16);  // t = 200 ms: wedge over, traffic stopped
+  EXPECT_FALSE(s.io->degraded());
+  EXPECT_FALSE(s.io->would_block());
+  EXPECT_GE(s.io->degraded_entries(), 1u);
+  EXPECT_GE(s.io->probes(), 1u);
+  // The parked flush was delivered, not dropped.
+  EXPECT_EQ(s.io->dropped_writes(), 0u);
+  EXPECT_EQ(s.io->live_requests(), 0u);
+  // Degraded span ~= the wedge window plus detection and one recovery
+  // round (re-issue of the parked flush by a probe).
+  EXPECT_LE(s.io->time_in_degraded(s.sim->engine().now()),
+            s.sim->clock().from_seconds(0.03) +
+                8 * s.io->config().io_timeout + 4 * probe_period(*s.io));
+  // Post-recovery the pipeline is healthy again and fully drained.
+  EXPECT_EQ(s.sim->nf_metrics(s.logger).rx_queue_len, 0u);
+  EXPECT_EQ(s.sim->pool().in_use(), 0u);
+}
+
+// on_io_fail = stuck: an unrecoverable I/O failure freezes the NF; the
+// watchdog diagnoses the straggler, force-kills it, and the restart's
+// cold-state reload falls back to the spawn latency because the device is
+// still dead — the NF completes a full recovery instead of hanging in
+// RESTARTING forever.
+TEST(IoFault, StuckPolicyEscalatesToWatchdogAndRestartFallsBack) {
+  LoggerSim s = make_logger_sim(/*async_io=*/true);
+  arm_fault_domain(*s.io);
+  s.io->set_on_fail(io::AsyncIoEngine::OnIoFail::kStuck);
+  fault::FaultPlan plan;
+  plan.add_device_wedge(s.sim->clock().from_seconds(0.02));  // permanent
+  s.sim->set_fault_plan(std::move(plan));
+
+  s.sim->run_for_seconds(0.2);
+  const auto& ls = s.sim->nf_lifecycle_stats(s.logger);
+  EXPECT_GE(ls.forced_crashes, 1u);
+  EXPECT_GE(ls.restarts, 1u);
+  EXPECT_GE(ls.recoveries, 1u);  // reload fell back despite the dead disk
+  EXPECT_GT(s.io->failures(), 0u);
+  // The engine stays degraded on the still-dead device; the revived NF
+  // processes without logging from then on (no second freeze).
+  EXPECT_TRUE(s.io->degraded());
+}
+
+// No watchdog misdiagnosis: a device outage with on_io_fail = block must
+// look like a blocked NF (legitimately asleep), never like a straggler —
+// the watchdog must not force-kill it.
+TEST(IoFault, BlockedOnIoIsNotMisdiagnosedAsStuck) {
+  LoggerSim s = make_logger_sim(/*async_io=*/true);
+  arm_fault_domain(*s.io);
+  fault::FaultPlan plan;
+  plan.add_device_wedge(s.sim->clock().from_seconds(0.02),
+                        s.sim->clock().from_seconds(0.05));
+  s.sim->set_fault_plan(std::move(plan));
+  s.sim->run_for_seconds(0.2);
+  EXPECT_EQ(s.sim->nf_lifecycle_stats(s.logger).forced_crashes, 0u);
+  EXPECT_EQ(s.sim->nf_lifecycle_stats(s.logger).crashes, 0u);
+  EXPECT_EQ(s.sim->nf_lifecycle(s.logger), fault::NfLifecycle::kRunning);
+}
+
+// Error and torn windows (block mode): affected flushes are retried —
+// possibly parked and probe-delivered — until they land in full once the
+// window closes. Nothing is dropped from the I/O path.
+TEST(IoFault, ErrorAndTornWindowsRetryToSuccess) {
+  LoggerSim s = make_logger_sim(/*async_io=*/true);
+  arm_fault_domain(*s.io);
+  fault::FaultPlan plan;
+  plan.add_device_error(s.sim->clock().from_seconds(0.02),
+                        s.sim->clock().from_seconds(0.003));
+  plan.add_device_torn(s.sim->clock().from_seconds(0.05), 0.5,
+                       s.sim->clock().from_seconds(0.003));
+  s.sim->set_fault_plan(std::move(plan));
+  s.sim->run_for_seconds(0.1);
+  // Both windows caught at least one flush (flushes are ~2.1 ms apart).
+  EXPECT_GT(s.sim->disk().failed_requests(), 0u);
+  EXPECT_GT(s.sim->disk().torn_requests(), 0u);
+  EXPECT_GT(s.io->retries(), 0u);
+  // ...and every one of them was eventually delivered in full.
+  EXPECT_EQ(s.io->dropped_writes(), 0u);
+  EXPECT_EQ(s.io->live_requests(), 0u);
+  EXPECT_FALSE(s.io->degraded());
+}
+
+}  // namespace
+}  // namespace nfv::core

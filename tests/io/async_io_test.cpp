@@ -150,5 +150,120 @@ TEST(AsyncIo, AccumulatedBytesFlushAsOneBatch) {
   EXPECT_EQ(io.writes(), 10u);
 }
 
+// -- storage fault domain (DESIGN.md §12) ------------------------------------
+
+TEST(AsyncIoFault, DeviceErrorRetriesWithBackoffThenSucceeds) {
+  sim::Engine engine;
+  BlockDevice dev(engine, slow_disk());
+  AsyncIoEngine io(engine, dev, double_buffered(1024));
+  io.set_retry(/*max_attempts=*/2, /*backoff=*/1000, /*multiplier=*/2.0,
+               /*jitter=*/0.0);
+  dev.inject_device_fault(fault::DeviceFaultKind::kError, 0.0);
+  engine.schedule_at(2500, [&] {
+    dev.restore_device_fault(fault::DeviceFaultKind::kError);
+  });
+  Cycles done_at = -1;
+  io.write(1024, [&] { done_at = engine.now(); });
+  engine.run();
+  // Attempt 1 errors at 1000+1024 = 2024; with zero jitter the retry is
+  // re-issued at 3024 and completes healthy 2024 cycles later.
+  EXPECT_EQ(done_at, 5048);
+  EXPECT_EQ(io.retries(), 1u);
+  EXPECT_EQ(io.failures(), 0u);
+  EXPECT_EQ(io.dropped_writes(), 0u);
+  EXPECT_FALSE(io.degraded());
+  EXPECT_EQ(io.live_requests(), 0u);
+}
+
+TEST(AsyncIoFault, WedgeTimesOutExhaustsBudgetAndShedsDegraded) {
+  sim::Engine engine;
+  BlockDevice dev(engine, slow_disk());
+  AsyncIoEngine io(engine, dev, double_buffered(1024));
+  io.set_timeout(5000);
+  io.set_retry(2, 1000, 2.0, 0.0);
+  io.set_on_fail(AsyncIoEngine::OnIoFail::kShed);
+  int degrade_entries = 0;
+  io.set_degrade_callback([&](bool entered) { degrade_entries += entered; });
+  dev.inject_device_fault(fault::DeviceFaultKind::kWedge, 0.0);
+  bool write_done = false;
+  io.write(1024, [&] { write_done = true; });
+  EXPECT_EQ(io.live_requests(), 1u);
+  engine.run_until(12'000);
+  // Deadline at 5000, retry at 6000, deadline again at 11000: budget gone.
+  EXPECT_EQ(io.timeouts(), 2u);
+  EXPECT_EQ(io.retries(), 1u);
+  EXPECT_EQ(io.failures(), 1u);
+  EXPECT_TRUE(io.degraded());
+  EXPECT_EQ(degrade_entries, 1);
+  EXPECT_EQ(io.dropped_writes(), 1u);
+  EXPECT_EQ(io.shed_bytes(), 1024u);
+  EXPECT_FALSE(io.would_block());  // shed mode never blocks the NF
+  EXPECT_FALSE(write_done);        // the data was lost, not delivered
+  // The timed-out attempts were withdrawn from the device too.
+  EXPECT_EQ(dev.cancelled_requests(), 2u);
+}
+
+TEST(AsyncIoFault, BlockedNfResumesExactlyOnceAfterWedgeClears) {
+  sim::Engine engine;
+  BlockDevice dev(engine, slow_disk());
+  AsyncIoEngine io(engine, dev, double_buffered(1024));
+  io.set_timeout(5000);
+  io.set_retry(2, 1000, 2.0, 0.0);
+  io.set_on_fail(AsyncIoEngine::OnIoFail::kBlock);
+  int unblocks = 0;
+  io.set_unblock_callback([&] { ++unblocks; });
+  dev.inject_device_fault(fault::DeviceFaultKind::kWedge, 0.0);
+  io.write(1024);  // flush 1, held by the wedge
+  io.write(1024);  // second buffer full: the NF must yield
+  ASSERT_TRUE(io.would_block());
+  // Budget exhausts at 11000 (parked, degraded); the device recovers at
+  // 12000 and the next recovery probe re-issues the parked flush.
+  engine.schedule_at(12'000, [&] {
+    dev.restore_device_fault(fault::DeviceFaultKind::kWedge);
+  });
+  engine.run();
+  EXPECT_FALSE(io.would_block());
+  EXPECT_EQ(unblocks, 1);  // resumed exactly once
+  EXPECT_FALSE(io.degraded());
+  EXPECT_EQ(io.dropped_writes(), 0u);  // parked data was delivered, not lost
+  EXPECT_EQ(io.bytes_written(), 2048u);
+  EXPECT_EQ(io.live_requests(), 0u);
+  EXPECT_GE(io.probes(), 1u);
+}
+
+TEST(AsyncIoFault, ReadFailureCallbackFiresAfterRetryBudget) {
+  sim::Engine engine;
+  BlockDevice dev(engine, slow_disk());
+  AsyncIoEngine io(engine, dev, double_buffered(1024));
+  io.set_retry(2, 1000, 2.0, 0.0);
+  dev.inject_device_fault(fault::DeviceFaultKind::kError, 0.0);
+  bool done = false, failed = false;
+  io.read(100, [&] { done = true; }, [&] { failed = true; });
+  engine.run();
+  EXPECT_FALSE(done);
+  EXPECT_TRUE(failed);  // the caller observes the error instead of hanging
+  EXPECT_EQ(io.failures(), 1u);
+  EXPECT_EQ(io.retries(), 1u);
+  EXPECT_FALSE(io.degraded());  // reads don't degrade the write path
+}
+
+TEST(AsyncIoFault, DestructorCancelsInFlightRequestsAndDeadlines) {
+  sim::Engine engine;
+  BlockDevice dev(engine, slow_disk());
+  {
+    auto cfg = double_buffered(1024);
+    cfg.flush_interval = 5000;
+    AsyncIoEngine io(engine, dev, cfg);
+    io.set_timeout(5000);
+    io.write(1024);  // flush in flight with an armed deadline
+    EXPECT_EQ(dev.inflight_requests(), 1u);
+  }
+  // The engine is gone: its device request was withdrawn and no deadline,
+  // retry, flush-timer or probe event may fire into freed memory.
+  EXPECT_EQ(dev.cancelled_requests(), 1u);
+  engine.run();  // must terminate without touching the dead engine
+  EXPECT_EQ(dev.inflight_requests(), 0u);
+}
+
 }  // namespace
 }  // namespace nfv::io

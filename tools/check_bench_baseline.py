@@ -15,6 +15,10 @@ higher-is-better:
                                  (BATCH scheduler). Simulation output, so
                                  it is deterministic; the tolerance only
                                  has to absorb intentional model changes.
+  io_fault_goodput_ratio         fig_io_fault: async+retry's aggregate
+                                 goodput under storage faults relative to
+                                 the sync baseline's (DESIGN.md §12).
+                                 Also deterministic simulation output.
 
 Regenerate the baseline (e.g. on a hardware change or an accepted perf
 shift) with --update. CI machines are noisy, hence the wide tolerance;
@@ -45,6 +49,12 @@ def run_fig_availability(binary: pathlib.Path) -> float:
     out = subprocess.run([str(binary), "--json"], check=True,
                          capture_output=True, text=True).stdout
     return float(json.loads(out)["availability_goodput_ratio"])
+
+
+def run_fig_io_fault(binary: pathlib.Path) -> float:
+    out = subprocess.run([str(binary), "--json"], check=True,
+                         capture_output=True, text=True).stdout
+    return float(json.loads(out)["io_fault_goodput_ratio"])
 
 
 def run_micro_substrate(binary: pathlib.Path, repetitions: int) -> float:
@@ -88,6 +98,8 @@ def main() -> int:
                                 args.repetitions),
         "availability_goodput_ratio":
             run_fig_availability(bench_dir / "fig_availability"),
+        "io_fault_goodput_ratio":
+            run_fig_io_fault(bench_dir / "fig_io_fault"),
     }
 
     if args.update:
