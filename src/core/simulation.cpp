@@ -51,7 +51,7 @@ ChainMetrics ChainMetrics::operator-(const ChainMetrics& rhs) const {
 }
 
 Simulation::Simulation(PlatformConfig config)
-    : config_(config), clock_(config.cpu_hz) {
+    : config_(config), clock_(config.cpu_hz), flows_(config.flow_table) {
   pool_ = std::make_unique<pktio::MbufPool>(config_.mempool_capacity);
   manager_ = std::make_unique<mgr::Manager>(engine_, *pool_, flows_, chains_,
                                             config_.manager, &obs_);
@@ -60,6 +60,20 @@ Simulation::Simulation(PlatformConfig config)
   obs_.metrics().gauge_fn("sim.mbufs_in_use", {}, [this] {
     return static_cast<double>(pool_->in_use());
   });
+  // Flow-table instruments (DESIGN.md §13): sampled probes, so the lookup
+  // path pays nothing for them.
+  obs_.metrics().counter_fn("flow.hits", {}, [this] { return flows_.hits(); });
+  obs_.metrics().counter_fn("flow.misses", {},
+                            [this] { return flows_.misses(); });
+  obs_.metrics().counter_fn("flow.installs", {},
+                            [this] { return flows_.installs(); });
+  obs_.metrics().counter_fn("flow.expirations", {},
+                            [this] { return flows_.expirations(); });
+  obs_.metrics().gauge_fn("flow.table_size", {}, [this] {
+    return static_cast<double>(flows_.size());
+  });
+  obs_.metrics().gauge_fn("flow.load_factor", {},
+                          [this] { return flows_.load_factor(); });
 }
 
 Simulation::~Simulation() = default;
@@ -204,10 +218,44 @@ std::pair<flow::FlowId, traffic::TcpSource*> Simulation::add_tcp_flow(
   return {flow_id, tcp_sources_.back().get()};
 }
 
+traffic::ChurnSource& Simulation::add_churn_workload(flow::ChainId chain,
+                                                     double rate_pps,
+                                                     ChurnOptions options) {
+  traffic::ChurnSource::Config cfg;
+  cfg.chain = chain;
+  cfg.rate_pps = rate_pps;
+  cfg.concurrent_flows = options.concurrent_flows;
+  cfg.size_bytes = options.size_bytes;
+  cfg.start_time = clock_.from_seconds(options.start_seconds);
+  cfg.stop_time = options.stop_seconds < 0
+                      ? Cycles{-1}
+                      : clock_.from_seconds(options.stop_seconds);
+  cfg.pareto_alpha = options.pareto_alpha;
+  cfg.pareto_min_packets = options.pareto_min_packets;
+  cfg.seed = options.seed;
+  cfg.burst = options.burst ? options.burst : config_.source_burst;
+  // Keep generated 5-tuples clear of next_flow_key()'s 10.0.0.0/9 space.
+  cfg.src_ip_base = 0x0b000000u + (static_cast<std::uint32_t>(
+                                       churn_sources_.size())
+                                   << 20);
+
+  churn_sources_.push_back(std::make_unique<traffic::ChurnSource>(
+      engine_, *manager_, *pool_, flows_, clock_, cfg));
+  if (started_) churn_sources_.back()->start();
+  return *churn_sources_.back();
+}
+
 void Simulation::ensure_started() {
   if (started_) return;
   started_ = true;
   manager_->start();
+  // Flow-expiry sweep (flow-state library, DESIGN.md §13): scheduled only
+  // when a timeout is configured, so default simulations dispatch exactly
+  // the seed event sequence.
+  if (flows_.expiry_enabled()) {
+    engine_.schedule_periodic(flows_.scan_period(),
+                              [this] { flows_.expire(engine_.now()); });
+  }
   // Storage fault domain (DESIGN.md §12): activate its observability only
   // when it is actually in use — device faults in the plan, or an engine
   // with a completion deadline configured — so fault-free reports keep the
@@ -225,6 +273,7 @@ void Simulation::ensure_started() {
   if (injector_) injector_->arm(*manager_, device_faults ? &disk() : nullptr);
   for (auto& src : udp_sources_) src->start();
   for (auto& src : tcp_sources_) src->start();
+  for (auto& src : churn_sources_) src->start();
 }
 
 void Simulation::run_for_seconds(double seconds) {

@@ -37,6 +37,7 @@
 #include "pktio/mempool.hpp"
 #include "sched/core.hpp"
 #include "sim/engine.hpp"
+#include "traffic/churn_source.hpp"
 #include "traffic/tcp_source.hpp"
 #include "traffic/udp_source.hpp"
 
@@ -56,6 +57,11 @@ struct PlatformConfig {
   sched::CoreConfig core;
   mgr::ManagerConfig manager;
   std::uint32_t mempool_capacity = 1 << 20;
+  /// Flow-table sizing and expiry (flow-state library, DESIGN.md §13). The
+  /// default — grow on demand, no idle timeout — reproduces the historical
+  /// behaviour exactly; setting flow_table.idle_timeout schedules a
+  /// periodic expiry sweep that reclaims idle flows' dense ids.
+  flow::FlowTable::Config flow_table;
 
   // Defaults applied to NFs added via add_nf (overridable per NF).
   // 16K descriptors per ring, OpenNetVM's NF_QUEUE_RINGSIZE: deep enough
@@ -115,6 +121,18 @@ struct UdpOptions {
   double jitter_fraction = 0.1;
   bool poisson = false;
   std::uint64_t seed = 0x9e3779b9ULL;
+  std::uint32_t burst = 0;  ///< Arrivals per timer event; 0 = platform default.
+};
+
+struct ChurnOptions {
+  std::uint32_t concurrent_flows = 1024;
+  std::uint16_t size_bytes = 64;
+  double start_seconds = 0.0;
+  double stop_seconds = -1.0;
+  /// Heavy-tailed flow lengths: packets per flow ~ Pareto(min, alpha).
+  double pareto_alpha = 2.0;
+  double pareto_min_packets = 2.0;
+  std::uint64_t seed = 0xC0FFEEULL;
   std::uint32_t burst = 0;  ///< Arrivals per timer event; 0 = platform default.
 };
 
@@ -210,6 +228,15 @@ class Simulation {
   std::pair<flow::FlowId, traffic::TcpSource*> add_tcp_flow(
       flow::ChainId chain, TcpOptions options = {});
 
+  /// A churning flow population: `options.concurrent_flows` live flows
+  /// sharing `rate_pps`, each a heavy-tailed number of packets long and
+  /// replaced by a fresh 5-tuple on completion (rule installed by the
+  /// source). Pair with PlatformConfig::flow_table.idle_timeout so retired
+  /// flows actually leave the table.
+  traffic::ChurnSource& add_churn_workload(flow::ChainId chain,
+                                           double rate_pps,
+                                           ChurnOptions options = {});
+
   // -- execution --------------------------------------------------------------
   /// Advance simulated time. The first call starts the manager's periodic
   /// threads and all traffic sources.
@@ -231,6 +258,8 @@ class Simulation {
   [[nodiscard]] std::size_t nf_count() const { return nfs_.size(); }
   [[nodiscard]] io::BlockDevice& disk();
   [[nodiscard]] pktio::MbufPool& pool() { return *pool_; }
+  [[nodiscard]] flow::FlowTable& flow_table() { return flows_; }
+  [[nodiscard]] const flow::FlowTable& flow_table() const { return flows_; }
   [[nodiscard]] flow::ChainRegistry& chains() { return chains_; }
   [[nodiscard]] PlatformConfig& config() { return config_; }
 
@@ -278,6 +307,7 @@ class Simulation {
   std::vector<std::unique_ptr<io::AsyncIoEngine>> io_engines_;
   std::vector<std::unique_ptr<traffic::UdpSource>> udp_sources_;
   std::vector<std::unique_ptr<traffic::TcpSource>> tcp_sources_;
+  std::vector<std::unique_ptr<traffic::ChurnSource>> churn_sources_;
   std::uint32_t next_ip_ = 1;
   bool started_ = false;
 };

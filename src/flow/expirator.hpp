@@ -1,0 +1,131 @@
+// Time-ordered expiry chain over pool indices (vigor's double-chain).
+//
+// An intrusive doubly-linked list threaded through two dense arrays keeps
+// flows ordered by last touch: install appends, a hit moves the flow to the
+// tail, and the sweep pops from the head while entries are older than the
+// deadline — O(expired), never O(table). Because links are arrays indexed
+// by the pool index, the chain allocates nothing after construction and a
+// stale link (expiring a freed index, touching an unlinked one) is caught
+// by asserts rather than corrupting the list.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace nfv::flow {
+
+class Expirator {
+ public:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  explicit Expirator(std::uint32_t capacity) { grow(capacity); }
+
+  /// Link `idx` as the most recently touched entry.
+  void push_back(std::uint32_t idx, Cycles now) {
+    assert(idx < capacity());
+    assert(!linked_[idx] && "index already on the chain");
+    linked_[idx] = 1;
+    last_touch_[idx] = now;
+    prev_[idx] = tail_;
+    next_[idx] = kNil;
+    if (tail_ != kNil) {
+      next_[tail_] = idx;
+    } else {
+      head_ = idx;
+    }
+    tail_ = idx;
+    ++size_;
+  }
+
+  /// Refresh `idx`: record the touch time and move it to the tail.
+  void touch(std::uint32_t idx, Cycles now) {
+    assert(idx < capacity());
+    assert(linked_[idx] && "touching an index that is not on the chain");
+    last_touch_[idx] = now;
+    if (tail_ == idx) return;  // already newest
+    unlink(idx);
+    prev_[idx] = tail_;
+    next_[idx] = kNil;
+    next_[tail_] = idx;
+    tail_ = idx;
+  }
+
+  /// Unlink `idx` (eviction or explicit erase).
+  void remove(std::uint32_t idx) {
+    assert(idx < capacity());
+    assert(linked_[idx] && "removing an index that is not on the chain");
+    unlink(idx);
+    linked_[idx] = 0;
+    --size_;
+  }
+
+  /// Pop entries from the oldest end while their last touch is strictly
+  /// before `deadline`; `fn(idx)` runs after the entry left the chain, so
+  /// it may free the index immediately. Returns the number expired.
+  template <typename Fn>
+  std::size_t expire_before(Cycles deadline, Fn&& fn) {
+    std::size_t expired = 0;
+    while (head_ != kNil && last_touch_[head_] < deadline) {
+      const std::uint32_t idx = head_;
+      remove(idx);
+      ++expired;
+      fn(idx);
+    }
+    return expired;
+  }
+
+  [[nodiscard]] bool linked(std::uint32_t idx) const {
+    return idx < capacity() && linked_[idx] != 0;
+  }
+  [[nodiscard]] Cycles last_touch(std::uint32_t idx) const {
+    assert(linked(idx));
+    return last_touch_[idx];
+  }
+  [[nodiscard]] std::uint32_t oldest() const { return head_; }
+  [[nodiscard]] std::uint32_t newest() const { return tail_; }
+  /// Next entry in oldest-to-newest order (chain iteration for rebuilds
+  /// and invariant checks); kNil at the end.
+  [[nodiscard]] std::uint32_t next_newer(std::uint32_t idx) const {
+    assert(linked(idx));
+    return next_[idx];
+  }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(next_.size());
+  }
+
+  /// Extend the link arrays; existing chain order is untouched.
+  void grow(std::uint32_t new_capacity) {
+    if (new_capacity <= capacity()) return;
+    next_.resize(new_capacity, kNil);
+    prev_.resize(new_capacity, kNil);
+    last_touch_.resize(new_capacity, 0);
+    linked_.resize(new_capacity, 0);
+  }
+
+  void clear() {
+    while (head_ != kNil) remove(head_);
+  }
+
+ private:
+  void unlink(std::uint32_t idx) {
+    const std::uint32_t p = prev_[idx];
+    const std::uint32_t n = next_[idx];
+    if (p != kNil) next_[p] = n; else head_ = n;
+    if (n != kNil) prev_[n] = p; else tail_ = p;
+  }
+
+  std::vector<std::uint32_t> next_;  ///< Toward newer entries.
+  std::vector<std::uint32_t> prev_;  ///< Toward older entries.
+  std::vector<Cycles> last_touch_;
+  std::vector<std::uint8_t> linked_;
+  std::uint32_t head_ = kNil;  ///< Oldest.
+  std::uint32_t tail_ = kNil;  ///< Newest.
+  std::size_t size_ = 0;
+};
+
+}  // namespace nfv::flow

@@ -1,0 +1,92 @@
+// Free-list index allocator for arena-backed flow state.
+//
+// Per-flow state lives in dense arrays ("vectors" in the vigor idiom); the
+// IndexPool hands out array slots in O(1) with zero allocation in steady
+// state. Fresh indices come out in ascending order (so a NAT handing out
+// port_base + index allocates ports sequentially, like the real NAPT box),
+// and freed indices are recycled most-recently-freed first. The pool keeps
+// a per-slot allocated bit so a double free — the classic flow-expiry bug —
+// trips an assert in debug builds instead of silently handing the same slot
+// to two flows; the property harness cross-checks the bit directly.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace nfv::flow {
+
+class IndexPool {
+ public:
+  static constexpr std::uint32_t kNoIndex = 0xffffffffu;
+
+  explicit IndexPool(std::uint32_t capacity) { grow(capacity); }
+
+  /// Take a free index; kNoIndex when exhausted.
+  std::uint32_t alloc() {
+    if (free_head_ == kNoIndex) return kNoIndex;
+    const std::uint32_t idx = free_head_;
+    free_head_ = next_free_[idx];
+    assert(!allocated_[idx] && "free list handed out a live index");
+    allocated_[idx] = 1;
+    ++allocated_count_;
+    return idx;
+  }
+
+  /// Return `idx` to the pool. Freeing an index that is not currently
+  /// allocated is a double free; debug builds assert, release builds
+  /// ignore it (the slot stays consistent either way).
+  void free(std::uint32_t idx) {
+    assert(idx < capacity());
+    assert(allocated_[idx] && "double free of pool index");
+    if (!allocated_[idx]) return;
+    allocated_[idx] = 0;
+    next_free_[idx] = free_head_;
+    free_head_ = idx;
+    --allocated_count_;
+  }
+
+  [[nodiscard]] bool is_allocated(std::uint32_t idx) const {
+    return idx < capacity() && allocated_[idx] != 0;
+  }
+
+  [[nodiscard]] std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(next_free_.size());
+  }
+  [[nodiscard]] std::uint32_t allocated() const { return allocated_count_; }
+  [[nodiscard]] std::uint32_t available() const {
+    return capacity() - allocated_count_;
+  }
+
+  /// Extend the pool: indices [old_capacity, new_capacity) join the free
+  /// list, ascending before any previously freed slots. Live indices are
+  /// untouched, so growth never invalidates a flow.
+  void grow(std::uint32_t new_capacity) {
+    const std::uint32_t old = capacity();
+    if (new_capacity <= old) return;
+    next_free_.resize(new_capacity);
+    allocated_.resize(new_capacity, 0);
+    for (std::uint32_t i = old; i + 1 < new_capacity; ++i) next_free_[i] = i + 1;
+    next_free_[new_capacity - 1] = free_head_;
+    free_head_ = old;
+  }
+
+  /// Release everything (bulk reset, e.g. a flow cache flush).
+  void clear() {
+    const std::uint32_t cap = capacity();
+    for (std::uint32_t i = 0; i < cap; ++i) {
+      next_free_[i] = i + 1 < cap ? i + 1 : kNoIndex;
+      allocated_[i] = 0;
+    }
+    free_head_ = cap > 0 ? 0 : kNoIndex;
+    allocated_count_ = 0;
+  }
+
+ private:
+  std::vector<std::uint32_t> next_free_;  ///< Next free index, per slot.
+  std::vector<std::uint8_t> allocated_;   ///< Live bit, per slot.
+  std::uint32_t free_head_ = kNoIndex;
+  std::uint32_t allocated_count_ = 0;
+};
+
+}  // namespace nfv::flow

@@ -137,7 +137,9 @@ void Manager::ingress(pktio::Mbuf* pkt, const pktio::FlowKey& key,
   assert(started_ && "call start() before sending traffic");
   assert(arrival <= engine_.now() && "arrival timestamps cannot be future");
   ++wire_ingress_;
-  const flow::FlowEntry* entry = flows_.lookup(key);
+  // Touching lookup: refreshes the flow's last-touch time so active flows
+  // stay ahead of the table's expiry sweep (idle ones age out).
+  const flow::FlowEntry* entry = flows_.lookup(key, arrival);
   if (entry == nullptr) {
     obs::inc(ctr_unmatched_drops_);
     if (auto* tr = obs::trace_of(obs_)) {

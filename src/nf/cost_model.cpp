@@ -21,7 +21,15 @@ CostModel CostModel::per_class(std::vector<Cycles> class_costs) {
   return CostModel(Kind::kPerClass, std::move(class_costs), 0);
 }
 
-Cycles CostModel::sample(const pktio::Mbuf& mbuf) {
+CostModel CostModel::state_dependent(
+    std::function<Cycles(pktio::Mbuf&)> probe, Cycles nominal_cost) {
+  assert(probe);
+  CostModel model(Kind::kStateDependent, {nominal_cost}, 0);
+  model.probe_ = std::move(probe);
+  return model;
+}
+
+Cycles CostModel::sample(pktio::Mbuf& mbuf) {
   Cycles base = 0;
   switch (kind_) {
     case Kind::kFixed:
@@ -32,6 +40,9 @@ Cycles CostModel::sample(const pktio::Mbuf& mbuf) {
       break;
     case Kind::kPerClass:
       base = values_[std::min<std::size_t>(mbuf.cost_class, values_.size() - 1)];
+      break;
+    case Kind::kStateDependent:
+      base = probe_(mbuf);
       break;
   }
   const auto scaled = static_cast<Cycles>(static_cast<double>(base) * scale_);

@@ -4,12 +4,15 @@
 // (e.g. 120/270/550 in Fig. 7, up to 4500 in Table 5) and §2 stresses that
 // "an NF may have variable per-packet costs". The cost model captures the
 // variants the evaluation uses: fixed cost, a uniform choice among classes
-// (Fig. 10's 120/270/550 mix), a class looked up from packet metadata, and
-// a runtime scale knob for the dynamic-adaptation experiment (Fig. 15a,
-// where NF1's cost triples mid-run).
+// (Fig. 10's 120/270/550 mix), a class looked up from packet metadata, a
+// state-dependent probe (the cost a stateful NF pays depends on what its
+// flow table does with the packet: hit, miss, evict), and a runtime scale
+// knob for the dynamic-adaptation experiment (Fig. 15a, where NF1's cost
+// triples mid-run).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -31,8 +34,19 @@ class CostModel {
   /// Cost selected by the packet's cost_class field (clamped to range).
   static CostModel per_class(std::vector<Cycles> class_costs);
 
+  /// Cost decided by a probe that inspects — and may transition — the NF's
+  /// per-flow state (install/touch/evict in its flow table). libnf runs the
+  /// probe once per packet at burst-assembly time, in dequeue order, which
+  /// is exactly the order handlers later run in — so the cost sequence (and
+  /// the state it leaves behind) is identical at any burst window. The
+  /// probe may stash a result for the handler in mbuf.nf_scratch.
+  /// `nominal_cost` seeds capacity math before any samples exist.
+  static CostModel state_dependent(
+      std::function<Cycles(pktio::Mbuf&)> probe, Cycles nominal_cost);
+
   /// Cost of processing this packet now, including the dynamic scale.
-  [[nodiscard]] Cycles sample(const pktio::Mbuf& mbuf);
+  /// Non-const mbuf: a state-dependent probe may write nf_scratch.
+  [[nodiscard]] Cycles sample(pktio::Mbuf& mbuf);
 
   /// Multiply all costs by `scale` from now on (Fig. 15a's step change).
   void set_scale(double scale) { scale_ = scale; }
@@ -42,7 +56,7 @@ class CostModel {
   [[nodiscard]] Cycles nominal() const;
 
  private:
-  enum class Kind { kFixed, kUniformChoice, kPerClass };
+  enum class Kind { kFixed, kUniformChoice, kPerClass, kStateDependent };
 
   CostModel(Kind kind, std::vector<Cycles> values, std::uint64_t seed)
       : kind_(kind), values_(std::move(values)), rng_(seed) {}
@@ -51,6 +65,7 @@ class CostModel {
   std::vector<Cycles> values_;
   Rng rng_;
   double scale_ = 1.0;
+  std::function<Cycles(pktio::Mbuf&)> probe_;
 };
 
 }  // namespace nfv::nf

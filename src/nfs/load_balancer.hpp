@@ -4,11 +4,18 @@
 // (consistent for a connection — what an L4 LB must guarantee) and
 // round-robin per packet (for comparison in tests). Rewrites the packet's
 // destination to the chosen backend.
+//
+// Flow-hash mode keeps a real connection table (FlowStore): the backend is
+// chosen by hash on first sight and *pinned* thereafter — so a connection
+// stays on its backend even if the pool hashing would have moved it, and
+// the per-packet cost can distinguish a table hit from a first-packet
+// install or an eviction under connection-count pressure.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "flow/flow_store.hpp"
 #include "nf/nf_task.hpp"
 #include "pktio/flow_key.hpp"
 
@@ -23,24 +30,55 @@ class LoadBalancer {
     std::uint64_t packets = 0;
   };
 
+  /// Per-packet cost by connection-table path (cycles). Round-robin mode
+  /// never touches the table and always charges `hit`.
+  struct PathCosts {
+    Cycles hit = 150;
+    Cycles miss = 400;
+    Cycles evict = 650;
+  };
+
   LoadBalancer(std::vector<std::uint32_t> backend_ips,
-               Policy policy = Policy::kFlowHash)
-      : policy_(policy) {
+               Policy policy = Policy::kFlowHash,
+               std::uint32_t max_connections = 1u << 16)
+      : policy_(policy),
+        connections_(flow::FlowStore<pktio::FlowKey, std::uint32_t>::Config{
+            .max_flows = max_connections,
+            .idle_timeout = 0,
+            .evict_lru_when_full = true,
+            .auto_grow = false}) {
     for (const auto ip : backend_ips) backends_.push_back(Backend{ip});
   }
 
-  /// Pick a backend for this packet and rewrite its destination.
-  std::uint32_t steer(pktio::Mbuf& pkt) {
+  /// Pick a backend for this packet, rewrite its destination, and report
+  /// the connection-table path taken (round-robin reports kHit: constant
+  /// cost, no state).
+  flow::StorePath steer_path(pktio::Mbuf& pkt) {
     std::size_t index = 0;
+    flow::StorePath path = flow::StorePath::kHit;
     if (policy_ == Policy::kFlowHash) {
-      index = pktio::FlowKeyHash{}(pkt.key) % backends_.size();
+      const auto result =
+          connections_.install(pkt.key, static_cast<Cycles>(++tick_));
+      std::uint32_t& pinned = connections_.state(result.index);
+      if (result.path != flow::StorePath::kHit) {
+        pinned = static_cast<std::uint32_t>(pktio::FlowKeyHash{}(pkt.key) %
+                                            backends_.size());
+      }
+      index = pinned;
+      path = result.path;
     } else {
       index = next_rr_++ % backends_.size();
     }
     Backend& backend = backends_[index];
     ++backend.packets;
     pkt.key.dst_ip = backend.ip;
-    return backend.ip;
+    return path;
+  }
+
+  /// Pick a backend for this packet and rewrite its destination.
+  std::uint32_t steer(pktio::Mbuf& pkt) {
+    steer_path(pkt);
+    return pkt.key.dst_ip;
   }
 
   void install(nf::NfTask& task) {
@@ -50,13 +88,41 @@ class LoadBalancer {
     });
   }
 
+  /// State-dependent install: steering happens in the cost probe at
+  /// burst-assembly time (dequeue order — burst-window invariant) and the
+  /// charged cost follows the connection-table path.
+  void install(nf::NfTask& task, PathCosts costs) {
+    task.cost_model() = nf::CostModel::state_dependent(
+        [this, costs](pktio::Mbuf& pkt) {
+          switch (steer_path(pkt)) {
+            case flow::StorePath::kHit:
+              return costs.hit;
+            case flow::StorePath::kEvicted:
+              return costs.evict;
+            default:
+              return costs.miss;
+          }
+        },
+        costs.hit);
+    task.set_handler(
+        [](pktio::Mbuf&) { return nf::NfAction::kForward; });
+  }
+
   [[nodiscard]] const std::vector<Backend>& backends() const {
     return backends_;
+  }
+  [[nodiscard]] std::size_t active_connections() const {
+    return connections_.size();
+  }
+  [[nodiscard]] std::uint64_t connection_evictions() const {
+    return connections_.lru_evictions();
   }
 
  private:
   Policy policy_;
   std::vector<Backend> backends_;
+  flow::FlowStore<pktio::FlowKey, std::uint32_t> connections_;
+  std::uint64_t tick_ = 0;
   std::size_t next_rr_ = 0;
 };
 

@@ -40,6 +40,11 @@ struct Mbuf {
 
   std::uint64_t seq = 0;  ///< Monotone per-flow sequence, for TCP accounting.
 
+  /// Scratch byte an NF's cost probe may leave for its packet handler
+  /// (e.g. a firewall verdict computed at burst-assembly time). Valid only
+  /// between one NF's probe and its handler for the same packet.
+  std::uint8_t nf_scratch = 0;
+
   /// Parsed 5-tuple "headers". Real NFs (firewall, NAT, DPI, ...) read and
   /// may rewrite these, exactly as they would rewrite packet headers.
   FlowKey key;

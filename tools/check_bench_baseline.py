@@ -7,6 +7,16 @@ regresses by more than the tolerance (default 20%). All metrics are
 higher-is-better:
 
   engine_events_per_sec          micro_engine's aggregate event throughput
+  flowmap_batch_lookups_per_sec  micro_flowmap: batched FlowMap hit
+                                 lookups/sec at one million flows
+  flowmap_lookup_speedup_vs_unordered
+                                 micro_flowmap: batched FlowMap hits vs
+                                 std::unordered_map on the same keys (the
+                                 flow-state library's reason to exist; a
+                                 ratio, so host speed cancels out)
+  flowstore_install_expire_ops_per_sec
+                                 micro_flowmap: FlowStore churn — 1M
+                                 installs + 1M expiries
   substrate_sim_ms_per_wall_ms   simulated ms per wall-clock ms of the
                                  fig. 7 chain (micro_substrate's
                                  BM_EndToEndChainMillisecond)
@@ -57,6 +67,20 @@ def run_fig_io_fault(binary: pathlib.Path) -> float:
     return float(json.loads(out)["io_fault_goodput_ratio"])
 
 
+def run_micro_flowmap(binary: pathlib.Path) -> dict:
+    out = subprocess.run([str(binary), "--json"], check=True,
+                         capture_output=True, text=True).stdout
+    data = json.loads(out)
+    return {
+        "flowmap_batch_lookups_per_sec":
+            float(data["flowmap_batch_lookups_per_sec"]),
+        "flowmap_lookup_speedup_vs_unordered":
+            float(data["flowmap_lookup_speedup_vs_unordered"]),
+        "flowstore_install_expire_ops_per_sec":
+            float(data["flowstore_install_expire_ops_per_sec"]),
+    }
+
+
 def run_micro_substrate(binary: pathlib.Path, repetitions: int) -> float:
     out = subprocess.run(
         [
@@ -101,6 +125,7 @@ def main() -> int:
         "io_fault_goodput_ratio":
             run_fig_io_fault(bench_dir / "fig_io_fault"),
     }
+    current.update(run_micro_flowmap(bench_dir / "micro_flowmap"))
 
     if args.update:
         args.baseline.write_text(
