@@ -140,6 +140,7 @@ constexpr Sched kScheds[] = {kNormal, kBatch, kRr1};
 }  // namespace
 
 int main(int argc, char** argv) {
+  parse_shards(argc, argv);
   const bool json = json_mode(argc, argv);
 
   ParallelRunner<AvailResult> runner;

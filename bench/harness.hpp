@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -56,11 +57,35 @@ inline constexpr Sched kRr1{"RR(1ms)", SchedPolicy::kRoundRobin, 1.0};
 inline constexpr Sched kRr100{"RR(100ms)", SchedPolicy::kRoundRobin, 100.0};
 inline constexpr Sched kAllScheds[] = {kNormal, kBatch, kRr1, kRr100};
 
+/// Worker count for the sharded engine (DESIGN.md §14), stamped into every
+/// PlatformConfig make_config() builds. Set by --shards; when it stays 0
+/// the NFV_SIM_SHARDS environment variable applies inside Simulation
+/// (mirroring how NFV_BENCH_WORKERS drives the experiment pool).
+inline std::uint32_t& cli_shards() {
+  static std::uint32_t shards = 0;
+  return shards;
+}
+
+/// Parse `--shards N` / `--shards=N` (flag wins over NFV_SIM_SHARDS).
+inline void parse_shards(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    long v = -1;
+    if (arg == "--shards" && i + 1 < argc) {
+      v = std::atol(argv[i + 1]);
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      v = std::atol(arg.c_str() + 9);
+    }
+    if (v > 0) cli_shards() = static_cast<std::uint32_t>(v);
+  }
+}
+
 inline PlatformConfig make_config(const Mode& mode) {
   PlatformConfig cfg;
   cfg.manager.enable_cgroups = mode.cgroups;
   cfg.manager.enable_backpressure = mode.backpressure;
   cfg.manager.enable_ecn = mode.ecn;
+  cfg.sim_shards = cli_shards();
   return cfg;
 }
 
@@ -168,6 +193,15 @@ inline std::size_t bench_workers() {
   return n;
 }
 
+/// The process-lifetime worker pool every default-sized ParallelRunner
+/// executes on. A bench with several scenario groups used to spawn and join
+/// a fresh pool per run() call; sharing one amortises thread start-up
+/// across the whole binary and keeps the workers warm between groups.
+inline nfv::common::ThreadPool& shared_pool() {
+  static nfv::common::ThreadPool pool(bench_workers());
+  return pool;
+}
+
 /// Runs independent experiment configurations across a worker pool and
 /// hands the results back in submission order.
 ///
@@ -176,6 +210,11 @@ inline std::size_t bench_workers() {
 /// by submission index and all printing happens serially afterwards, which
 /// makes bench output (human tables and --json alike) byte-identical
 /// whatever NFV_BENCH_WORKERS is — parallelism only changes wall-clock.
+///
+/// Default-constructed runners share one process-wide pool (shared_pool());
+/// a runner with an explicit non-default worker count gets a dedicated pool
+/// for that run() only. Benches drive runners serially, so the shared
+/// pool's idle barrier always refers to this runner's jobs.
 template <typename R>
 class ParallelRunner {
  public:
@@ -193,13 +232,18 @@ class ParallelRunner {
   /// results in submission order. The runner is reusable afterwards.
   std::vector<R> run() {
     std::vector<R> results(jobs_.size());
-    {
-      nfv::common::ThreadPool pool(workers_);
-      for (std::size_t i = 0; i < jobs_.size(); ++i) {
-        pool.submit([&results, &jobs = jobs_, i] { results[i] = jobs[i](); });
-      }
-      pool.wait_idle();
+    std::unique_ptr<nfv::common::ThreadPool> dedicated;
+    nfv::common::ThreadPool* pool;
+    if (workers_ == bench_workers()) {
+      pool = &shared_pool();
+    } else {
+      dedicated = std::make_unique<nfv::common::ThreadPool>(workers_);
+      pool = dedicated.get();
     }
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      pool->submit([&results, &jobs = jobs_, i] { results[i] = jobs[i](); });
+    }
+    pool->wait_idle();
     jobs_.clear();
     return results;
   }

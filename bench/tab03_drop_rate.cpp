@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   spec.rate_pps = 6e6;
   spec.secs = seconds(0.25);
 
+  parse_shards(argc, argv);
   const bool json = json_mode(argc, argv);
   const auto rows = run_grid(kAllScheds, kDefaultVsNfvnice, spec, json);
 

@@ -52,6 +52,20 @@ void BackpressureManager::note_transition(flow::NfId nf, ThrottleState from,
                     {"to", to_string(to)}},
                    {{"qlen", static_cast<std::int64_t>(queue_len)}});
   }
+  if (state_listener_) state_listener_(nf, to, now);
+}
+
+void BackpressureManager::apply_remote_state(flow::NfId nf, ThrottleState to) {
+  if (nf >= states_.size()) return;
+  NfState& st = states_[nf];
+  const ThrottleState from = st.state;
+  if (from == to) return;
+  st.state = to;
+  if (to == ThrottleState::kThrottle) {
+    enter_throttle(nf);
+  } else if (from == ThrottleState::kThrottle) {
+    leave_throttle(nf);
+  }
 }
 
 void BackpressureManager::on_enqueue_feedback(flow::NfId nf,

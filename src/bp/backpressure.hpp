@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,22 @@ class BackpressureManager {
   /// in `nf_names`, indexed by NfId) and bp_transition trace events.
   void set_observability(obs::Observability* obs,
                          std::vector<std::string> nf_names);
+
+  /// Sharded-simulation hook: called on every real state transition (all of
+  /// them funnel through note_transition). The owning lane's Manager uses
+  /// this to broadcast the new state to the other lanes' mirrors.
+  using StateListener =
+      std::function<void(flow::NfId, ThrottleState to, Cycles now)>;
+  void set_state_listener(StateListener listener) {
+    state_listener_ = std::move(listener);
+  }
+
+  /// Mirror a transition that happened on the NF's owning lane. Updates the
+  /// state and the chain_throttles_ refcounts (so chain_throttled() and
+  /// should_pause_upstream() see remote bottlenecks) but touches no stats,
+  /// counters or trace — those belong to the owning lane — and does not
+  /// re-fire the state listener.
+  void apply_remote_state(flow::NfId nf, ThrottleState to);
 
   /// Tx-thread detection hook: called with the enqueue feedback for `nf`'s
   /// RX ring. Only flips Clear -> Watch (the cheap part on the data path).
@@ -123,6 +140,7 @@ class BackpressureManager {
   BpStats stats_;
   obs::Observability* obs_ = nullptr;
   std::vector<std::string> nf_names_;
+  StateListener state_listener_;
 };
 
 }  // namespace nfv::bp

@@ -1,0 +1,136 @@
+// Sharded simulation runtime (DESIGN.md §14): per-core event lanes under a
+// conservative-lookahead barrier.
+//
+// A sharded Simulation gives every simulated core its own event *lane* — a
+// private engine plus private replicas of everything the packet path
+// touches (mbuf pool, flow table, Manager, observability, block device) —
+// and advances all lanes in lock-step epochs of length cross_lane_latency.
+// Within an epoch lanes run concurrently on worker threads and share
+// nothing; the only communication is ShardMsg traffic through per-(src,dst)
+// SPSC mailboxes, and because every message is stamped send_time + latency,
+// nothing posted during an epoch can be due before the epoch ends. At the
+// epoch barrier each destination lane drains its mailboxes in fixed
+// source-lane order and schedules the messages as ordinary engine events —
+// so the *decomposition* (one lane per core) is fixed by the topology and
+// the worker count only decides how many lanes run at once. That is the
+// determinism argument in one line: lane event sequences are independent of
+// NFV_SIM_SHARDS by construction, hence reports, traces and counters are
+// byte-identical at any worker count.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <vector>
+
+#include "common/time.hpp"
+#include "fault/injector.hpp"
+#include "flow/flow_table.hpp"
+#include "flow/service_chain.hpp"
+#include "io/block_device.hpp"
+#include "mgr/manager.hpp"
+#include "mgr/shard_link.hpp"
+#include "obs/observability.hpp"
+#include "obs/trace.hpp"
+#include "pktio/mempool.hpp"
+#include "pktio/ring.hpp"
+#include "sim/event_lane.hpp"
+#include "sim/shard_barrier.hpp"
+
+namespace nfv::core {
+
+/// One event lane: a simulated core's private slice of the platform. Lane
+/// index equals core index; everything in here is touched only by the
+/// worker thread driving the lane (or by the main thread between runs).
+struct Lane {
+  Lane(std::uint32_t lane_id, const mgr::ManagerConfig& mgr_cfg,
+       const flow::FlowTable::Config& flow_cfg, std::uint32_t mempool_capacity,
+       flow::ChainRegistry& chains, mgr::ShardLink& link, Cycles latency);
+
+  std::uint32_t id;
+  sim::EventLane ev;
+  pktio::MbufPool pool;
+  flow::FlowTable flows;
+  obs::Observability obs;
+  std::unique_ptr<mgr::Manager> manager;
+  /// Per-lane trace buffer; merged into the user's recorder after each run
+  /// (sorted by timestamp, then lane, then intra-lane order).
+  std::unique_ptr<obs::TraceRecorder> trace;
+  std::size_t trace_consumed = 0;  ///< Events already merged out.
+  std::unique_ptr<io::BlockDevice> disk;  ///< Lazy, like Simulation::disk().
+  std::unique_ptr<fault::FaultInjector> injector;
+  /// In-flight cross-lane messages: drained from the mailboxes into this
+  /// list, erased when their delivery event fires. A std::list so delivery
+  /// events can hold stable iterators.
+  std::list<mgr::ShardMsg> pending;
+};
+
+/// Owns the lanes, the mailbox matrix and the worker pool, and implements
+/// the epoch loop. Simulation delegates run_for_seconds here when sharded.
+class ShardRuntime final : public mgr::ShardLink {
+ public:
+  /// `shards` is the requested worker count (>= 1); the effective count is
+  /// min(shards, lanes) at the first run. `latency` is the modelled
+  /// cross-lane transit time and the epoch length (must be > 0).
+  ShardRuntime(std::uint32_t shards, Cycles latency,
+               const mgr::ManagerConfig& mgr_cfg,
+               const flow::FlowTable::Config& flow_cfg,
+               std::uint32_t mempool_capacity, flow::ChainRegistry& chains);
+  ~ShardRuntime() override;
+
+  /// Create the next lane (index = current count). Topology-build time only.
+  Lane& add_lane();
+
+  [[nodiscard]] Lane& lane(std::size_t i) { return *lanes_[i]; }
+  [[nodiscard]] std::size_t size() const { return lanes_.size(); }
+  [[nodiscard]] Cycles now() const { return now_; }
+  [[nodiscard]] Cycles latency() const { return latency_; }
+  [[nodiscard]] std::uint32_t shards() const { return shards_; }
+  /// Sum of all lane engines' dispatched-event counts.
+  [[nodiscard]] std::uint64_t dispatched_events() const;
+
+  // mgr::ShardLink — called from lane worker threads during an epoch.
+  void post(std::uint32_t src, std::uint32_t dst,
+            const mgr::ShardMsg& msg) override;
+  [[nodiscard]] std::uint32_t lane_count() const override {
+    return static_cast<std::uint32_t>(lanes_.size());
+  }
+
+  /// Advance every lane to `target` in lookahead epochs. Two barriers per
+  /// epoch: all lanes run, then all lanes drain — a message posted while
+  /// lane A runs epoch k must not be converted into an engine event while
+  /// lane B is still *running* epoch k, or B's event sequence numbers (and
+  /// with them same-timestamp tie-breaks) would depend on worker timing.
+  void run_until(Cycles target);
+
+ private:
+  /// Per-(src,dst) mailbox: a fixed SPSC ring with an unbounded spill list
+  /// behind it, so posting never blocks and never drops. The spill vector
+  /// is written by the source worker and cleared by the destination worker
+  /// in different phases; the barrier between them is the synchronisation.
+  struct Mailbox {
+    pktio::SpscRing<mgr::ShardMsg> ring{256};
+    std::vector<mgr::ShardMsg> spill;
+  };
+
+  void drain_lane(std::size_t dst);
+  void deliver(Lane& lane, const mgr::ShardMsg& msg);
+
+  std::uint32_t shards_;
+  Cycles latency_;
+  // Copies of the platform knobs, so lanes added later see the same config
+  // the legacy constructor would have captured.
+  mgr::ManagerConfig mgr_cfg_;
+  flow::FlowTable::Config flow_cfg_;
+  std::uint32_t mempool_capacity_;
+  flow::ChainRegistry& chains_;
+
+  Cycles now_ = 0;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::unique_ptr<Mailbox>> boxes_;  ///< [src * n + dst].
+  // Declared last: its destructor joins the workers before anything the
+  // phase callbacks touch is torn down.
+  std::unique_ptr<sim::ShardExecutor> exec_;
+};
+
+}  // namespace nfv::core

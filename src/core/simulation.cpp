@@ -1,10 +1,13 @@
 #include "core/simulation.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 
+#include "core/shard_runtime.hpp"
 #include "obs/json.hpp"
 #include "sched/cfs.hpp"
 #include "sched/fifo.hpp"
@@ -50,8 +53,36 @@ ChainMetrics ChainMetrics::operator-(const ChainMetrics& rhs) const {
   return d;
 }
 
+namespace {
+
+/// Lazy per-lane block device, mirroring Simulation::disk().
+io::BlockDevice& lane_disk(Lane& lane) {
+  if (!lane.disk) lane.disk = std::make_unique<io::BlockDevice>(lane.ev.engine());
+  return *lane.disk;
+}
+
+}  // namespace
+
 Simulation::Simulation(PlatformConfig config)
     : config_(config), clock_(config.cpu_hz), flows_(config.flow_table) {
+  // Sharded engine opt-in (DESIGN.md §14): an explicit config wins; when it
+  // is left at 0 the NFV_SIM_SHARDS environment variable applies, so every
+  // existing binary can be resharded without a rebuild.
+  if (config_.sim_shards == 0) {
+    if (const char* env = std::getenv("NFV_SIM_SHARDS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) config_.sim_shards = static_cast<std::uint32_t>(v);
+    }
+  }
+  if (config_.sim_shards > 0) {
+    // Every lane builds its own pool/manager/flow table as cores are added;
+    // the legacy singletons (and their root-registry probes) stay unbuilt
+    // so the legacy path remains byte-exact.
+    shard_ = std::make_unique<ShardRuntime>(
+        config_.sim_shards, config_.cross_lane_latency, config_.manager,
+        config_.flow_table, config_.mempool_capacity, chains_);
+    return;
+  }
   pool_ = std::make_unique<pktio::MbufPool>(config_.mempool_capacity);
   manager_ = std::make_unique<mgr::Manager>(engine_, *pool_, flows_, chains_,
                                             config_.manager, &obs_);
@@ -101,10 +132,28 @@ std::size_t Simulation::add_core(SchedPolicy policy, double rr_quantum_ms,
   const std::size_t index = cores_.size();
   sched::CoreConfig core_cfg = config_.core;
   core_cfg.numa_node = numa_node;
+  if (shard_) {
+    // One lane per core. NFs registered before this lane existed become
+    // remote placeholders on it.
+    Lane& lane = shard_->add_lane();
+    for (flow::NfId id = 0; id < nfs_.size(); ++id) {
+      lane.manager->register_remote_nf(id, nfs_[id]->config().name,
+                                       nf_lane_[id]);
+    }
+    if (user_trace_) {
+      obs::TraceRecorder::Config tc;
+      tc.max_events = user_trace_->config().max_events;
+      tc.cpu_hz = config_.cpu_hz;
+      lane.trace = std::make_unique<obs::TraceRecorder>(tc);
+      lane.obs.attach_trace(lane.trace.get());
+    }
+  }
+  sim::Engine& engine = shard_ ? shard_->lane(index).ev.engine() : engine_;
+  obs::Observability& obs = shard_ ? shard_->lane(index).obs : obs_;
   cores_.push_back(std::make_unique<sched::Core>(
-      engine_, std::move(scheduler), core_cfg,
+      engine, std::move(scheduler), core_cfg,
       "core" + std::to_string(index)));
-  cores_.back()->set_observability(&obs_, static_cast<std::uint32_t>(index));
+  cores_.back()->set_observability(&obs, static_cast<std::uint32_t>(index));
   return index;
 }
 
@@ -126,10 +175,31 @@ flow::NfId Simulation::add_nf(std::string name, std::size_t core_index,
   cfg.sample_window = clock_.from_millis(100.0);
   cfg.priority = options.priority;
 
-  nfs_.push_back(std::make_unique<nf::NfTask>(engine_, cfg));
-  const flow::NfId id =
-      manager_->register_nf(nfs_.back().get(), cores_[core_index].get());
-  assert(id + 1 == nfs_.size());
+  sim::Engine& engine =
+      shard_ ? shard_->lane(core_index).ev.engine() : engine_;
+  nfs_.push_back(std::make_unique<nf::NfTask>(engine, cfg));
+  nf::NfTask* task = nfs_.back().get();
+  const auto id = static_cast<flow::NfId>(nfs_.size() - 1);
+  nf_lane_.push_back(static_cast<std::uint32_t>(core_index));
+  if (shard_) {
+    // Register under the same global id everywhere: local on the owning
+    // lane, a named placeholder on every other lane.
+    for (std::size_t l = 0; l < shard_->size(); ++l) {
+      if (l == core_index) {
+        shard_->lane(l).manager->register_nf_at(id, task,
+                                                cores_[core_index].get());
+      } else {
+        shard_->lane(l).manager->register_remote_nf(
+            id, task->config().name,
+            static_cast<std::uint32_t>(core_index));
+      }
+    }
+  } else {
+    const flow::NfId got =
+        manager_->register_nf(task, cores_[core_index].get());
+    (void)got;
+    assert(got == id);
+  }
   return id;
 }
 
@@ -141,23 +211,82 @@ flow::ChainId Simulation::add_chain(std::string name,
 
 io::AsyncIoEngine& Simulation::attach_io(flow::NfId nf_id,
                                          io::AsyncIoEngine::Config io_config) {
+  const std::uint32_t lane_id = shard_ ? nf_lane_[nf_id] : 0;
+  sim::Engine& engine = shard_ ? shard_->lane(lane_id).ev.engine() : engine_;
+  io::BlockDevice& device =
+      shard_ ? lane_disk(shard_->lane(lane_id)) : disk();
+  obs::Observability& obs = shard_ ? shard_->lane(lane_id).obs : obs_;
   io_engines_.push_back(
-      std::make_unique<io::AsyncIoEngine>(engine_, disk(), io_config));
+      std::make_unique<io::AsyncIoEngine>(engine, device, io_config));
+  io_lane_.push_back(lane_id);
   nfs_[nf_id]->attach_io(io_engines_.back().get());
-  io_engines_.back()->set_observability(&obs_, nfs_[nf_id]->config().name);
+  io_engines_.back()->set_observability(&obs, nfs_[nf_id]->config().name);
   return *io_engines_.back();
 }
 
 void Simulation::set_fault_plan(fault::FaultPlan plan) {
   assert(!started_ && "install the fault plan before the first run");
+  if (shard_) {
+    assert(!fault_plan_ && "only one fault plan per simulation");
+    lifecycle_requested_ = true;
+    fault_plan_ = std::make_unique<fault::FaultPlan>(std::move(plan));
+    return;
+  }
   assert(!injector_ && "only one fault plan per simulation");
   manager_->enable_lifecycle();
   injector_ = std::make_unique<fault::FaultInjector>(engine_, std::move(plan));
 }
 
+void Simulation::set_dead_policy(flow::ChainId chain,
+                                 fault::DeadNfPolicy policy) {
+  if (shard_) {
+    for (std::size_t l = 0; l < shard_->size(); ++l) {
+      shard_->lane(l).manager->set_dead_policy(chain, policy);
+    }
+    return;
+  }
+  manager_->set_dead_policy(chain, policy);
+}
+
+fault::NfLifecycle Simulation::nf_lifecycle(flow::NfId id) const {
+  return mgr_of(id).nf_lifecycle(id);
+}
+
+const fault::NfLifecycleStats& Simulation::nf_lifecycle_stats(
+    flow::NfId id) const {
+  return mgr_of(id).nf_lifecycle_stats(id);
+}
+
+mgr::Manager& Simulation::manager() {
+  if (shard_) return *shard_->lane(0).manager;
+  return *manager_;
+}
+
+pktio::MbufPool& Simulation::pool() {
+  if (shard_) return shard_->lane(0).pool;
+  return *pool_;
+}
+
 io::BlockDevice& Simulation::disk() {
+  if (shard_) return lane_disk(shard_->lane(0));
   if (!disk_) disk_ = std::make_unique<io::BlockDevice>(engine_);
   return *disk_;
+}
+
+Cycles Simulation::now_cycles() const {
+  return shard_ ? shard_->now() : engine_.now();
+}
+
+mgr::Manager& Simulation::mgr_of(flow::NfId id) const {
+  if (shard_) return *shard_->lane(nf_lane_[id]).manager;
+  return *manager_;
+}
+
+Lane* Simulation::home_lane_ptr(flow::ChainId chain) {
+  if (!shard_) return nullptr;
+  const auto& hops = chains_.get(chain).hops;
+  assert(!hops.empty() && "a chain needs at least one hop");
+  return &shard_->lane(nf_lane_[hops.front()]);
 }
 
 pktio::FlowKey Simulation::next_flow_key(std::uint8_t proto) {
@@ -173,7 +302,11 @@ pktio::FlowKey Simulation::next_flow_key(std::uint8_t proto) {
 flow::FlowId Simulation::add_udp_flow(flow::ChainId chain, double rate_pps,
                                       UdpOptions options) {
   const pktio::FlowKey key = next_flow_key(pktio::kProtoUdp);
-  const flow::FlowId flow_id = flows_.install(key, chain);
+  // Sharded: the flow lives on its chain's home lane — the first hop's
+  // lane, where the source injects and the flow table is consulted.
+  Lane* home = home_lane_ptr(chain);
+  const flow::FlowId flow_id =
+      (home ? home->flows : flows_).install(key, chain);
 
   traffic::UdpSource::Config cfg;
   cfg.key = key;
@@ -190,7 +323,8 @@ flow::FlowId Simulation::add_udp_flow(flow::ChainId chain, double rate_pps,
   cfg.burst = options.burst ? options.burst : config_.source_burst;
 
   udp_sources_.push_back(std::make_unique<traffic::UdpSource>(
-      engine_, *manager_, *pool_, clock_, cfg));
+      home ? home->ev.engine() : engine_, home ? *home->manager : *manager_,
+      home ? home->pool : *pool_, clock_, cfg));
   if (started_) udp_sources_.back()->start();
   return flow_id;
 }
@@ -198,7 +332,9 @@ flow::FlowId Simulation::add_udp_flow(flow::ChainId chain, double rate_pps,
 std::pair<flow::FlowId, traffic::TcpSource*> Simulation::add_tcp_flow(
     flow::ChainId chain, TcpOptions options) {
   const pktio::FlowKey key = next_flow_key(pktio::kProtoTcp);
-  const flow::FlowId flow_id = flows_.install(key, chain);
+  Lane* home = home_lane_ptr(chain);
+  const flow::FlowId flow_id =
+      (home ? home->flows : flows_).install(key, chain);
 
   traffic::TcpSource::Config cfg;
   cfg.key = key;
@@ -213,7 +349,8 @@ std::pair<flow::FlowId, traffic::TcpSource*> Simulation::add_tcp_flow(
   cfg.burst = options.burst ? options.burst : config_.source_burst;
 
   tcp_sources_.push_back(std::make_unique<traffic::TcpSource>(
-      engine_, *manager_, *pool_, flow_id, cfg));
+      home ? home->ev.engine() : engine_, home ? *home->manager : *manager_,
+      home ? home->pool : *pool_, flow_id, cfg));
   if (started_) tcp_sources_.back()->start();
   return {flow_id, tcp_sources_.back().get()};
 }
@@ -239,15 +376,105 @@ traffic::ChurnSource& Simulation::add_churn_workload(flow::ChainId chain,
                                        churn_sources_.size())
                                    << 20);
 
+  Lane* home = home_lane_ptr(chain);
   churn_sources_.push_back(std::make_unique<traffic::ChurnSource>(
-      engine_, *manager_, *pool_, flows_, clock_, cfg));
+      home ? home->ev.engine() : engine_, home ? *home->manager : *manager_,
+      home ? home->pool : *pool_, home ? home->flows : flows_, clock_, cfg));
   if (started_) churn_sources_.back()->start();
   return *churn_sources_.back();
+}
+
+fault::FaultPlan Simulation::lane_fault_plan(std::size_t lane_id) const {
+  fault::FaultPlan lp;
+  if (!fault_plan_) return lp;
+  // NF faults go to the owning lane; device faults to every lane that has
+  // an io engine (each lane owns its own block-device replica, mirroring
+  // how every lane owns its own mbuf pool).
+  const bool lane_has_io =
+      std::find(io_lane_.begin(), io_lane_.end(),
+                static_cast<std::uint32_t>(lane_id)) != io_lane_.end();
+  for (const fault::FaultSpec& s : fault_plan_->specs()) {
+    switch (s.kind) {
+      case fault::FaultKind::kCrash:
+        if (nf_lane_[s.nf] == lane_id) lp.add_crash(s.nf, s.at, s.restart_after);
+        break;
+      case fault::FaultKind::kStall:
+        if (nf_lane_[s.nf] == lane_id) lp.add_stall(s.nf, s.at, s.restart_after);
+        break;
+      case fault::FaultKind::kDegrade:
+        if (nf_lane_[s.nf] == lane_id) {
+          lp.add_degrade(s.nf, s.at, s.factor, s.duration);
+        }
+        break;
+      case fault::FaultKind::kDevice:
+        if (!lane_has_io) break;
+        switch (s.device) {
+          case fault::DeviceFaultKind::kSlow:
+            lp.add_device_slow(s.at, s.factor, s.duration);
+            break;
+          case fault::DeviceFaultKind::kError:
+            lp.add_device_error(s.at, s.duration);
+            break;
+          case fault::DeviceFaultKind::kTorn:
+            lp.add_device_torn(s.at, s.factor, s.duration);
+            break;
+          case fault::DeviceFaultKind::kWedge:
+            lp.add_device_wedge(s.at, s.duration);
+            break;
+        }
+        break;
+    }
+  }
+  return lp;
+}
+
+void Simulation::start_sharded() {
+  for (std::size_t l = 0; l < shard_->size(); ++l) {
+    Lane& lane = shard_->lane(l);
+    // Lifecycle must be armed on *every* replica: remote-death broadcasts
+    // and dead-hop routing consult it wherever the packet happens to be.
+    if (lifecycle_requested_) lane.manager->enable_lifecycle();
+    lane.manager->start();
+    if (lane.flows.expiry_enabled()) {
+      flow::FlowTable* flows = &lane.flows;
+      sim::Engine* engine = &lane.ev.engine();
+      engine->schedule_periodic(flows->scan_period(), [flows, engine] {
+        flows->expire(engine->now());
+      });
+    }
+    fault::FaultPlan plan = lane_fault_plan(l);
+    const bool device_faults = plan.has_device_faults();
+    bool io_fault_domain = device_faults;
+    for (std::size_t k = 0; k < io_engines_.size(); ++k) {
+      if (io_lane_[k] == l && io_engines_[k]->fault_domain_enabled()) {
+        io_fault_domain = true;
+      }
+    }
+    if (io_fault_domain) {
+      lane_disk(lane).set_observability(&lane.obs);
+      for (std::size_t k = 0; k < io_engines_.size(); ++k) {
+        if (io_lane_[k] == l) io_engines_[k]->register_fault_metrics();
+      }
+    }
+    if (!plan.empty()) {
+      lane.injector = std::make_unique<fault::FaultInjector>(lane.ev.engine(),
+                                                             std::move(plan));
+      lane.injector->arm(*lane.manager,
+                         device_faults ? &lane_disk(lane) : nullptr);
+    }
+  }
 }
 
 void Simulation::ensure_started() {
   if (started_) return;
   started_ = true;
+  if (shard_) {
+    start_sharded();
+    for (auto& src : udp_sources_) src->start();
+    for (auto& src : tcp_sources_) src->start();
+    for (auto& src : churn_sources_) src->start();
+    return;
+  }
   manager_->start();
   // Flow-expiry sweep (flow-state library, DESIGN.md §13): scheduled only
   // when a timeout is configured, so default simulations dispatch exactly
@@ -278,14 +505,21 @@ void Simulation::ensure_started() {
 
 void Simulation::run_for_seconds(double seconds) {
   ensure_started();
+  if (shard_) {
+    shard_->run_until(shard_->now() + clock_.from_seconds(seconds));
+    if (user_trace_) merge_lane_traces();
+    return;
+  }
   engine_.run_until(engine_.now() + clock_.from_seconds(seconds));
 }
 
-double Simulation::now_seconds() const { return clock_.to_seconds(engine_.now()); }
+double Simulation::now_seconds() const {
+  return clock_.to_seconds(now_cycles());
+}
 
 NfMetrics Simulation::nf_metrics(flow::NfId id) const {
   const nf::NfTask& task = *nfs_[id];
-  const auto& mc = manager_->nf_counters(id);
+  const auto& mc = mgr_of(id).nf_counters(id);
   NfMetrics m;
   m.name = task.name();
   m.arrivals = task.counters().arrivals;
@@ -305,8 +539,20 @@ NfMetrics Simulation::nf_metrics(flow::NfId id) const {
 }
 
 ChainMetrics Simulation::chain_metrics(flow::ChainId id) const {
-  const auto& cc = manager_->chain_counters(id);
   ChainMetrics m;
+  if (shard_) {
+    // Admission counts on the home lane, egress wherever the last hop ran;
+    // the chain total is the sum over replicas.
+    for (std::size_t l = 0; l < shard_->size(); ++l) {
+      const auto& cc = shard_->lane(l).manager->chain_counters(id);
+      m.entry_admitted += cc.entry_admitted;
+      m.entry_throttle_drops += cc.entry_throttle_drops;
+      m.egress_packets += cc.egress_packets;
+      m.egress_bytes += cc.egress_bytes;
+    }
+    return m;
+  }
+  const auto& cc = manager_->chain_counters(id);
   m.entry_admitted = cc.entry_admitted;
   m.entry_throttle_drops = cc.entry_throttle_drops;
   m.egress_packets = cc.egress_packets;
@@ -315,7 +561,7 @@ ChainMetrics Simulation::chain_metrics(flow::ChainId id) const {
 }
 
 double Simulation::nf_cpu_share(flow::NfId id) const {
-  const Cycles now = engine_.now();
+  const Cycles now = now_cycles();
   if (now == 0) return 0.0;
   return static_cast<double>(nfs_[id]->stats().runtime) /
          static_cast<double>(now);
@@ -329,7 +575,48 @@ void Simulation::attach_trace(obs::TraceRecorder& recorder) {
   recorder.set_lane_name(obs::kBackpressureLane, "backpressure");
   recorder.set_lane_name(obs::kLifecycleLane, "lifecycle");
   recorder.set_lane_name(obs::kIoLane, "storage-io");
+  if (shard_) {
+    // Each lane records into a private buffer (worker threads must not
+    // share a recorder); after every run the buffers are merged into the
+    // user's recorder in (timestamp, lane, sequence) order — a total order
+    // independent of the worker count.
+    user_trace_ = &recorder;
+    for (std::size_t l = 0; l < shard_->size(); ++l) {
+      Lane& lane = shard_->lane(l);
+      if (lane.trace) continue;
+      obs::TraceRecorder::Config tc;
+      tc.max_events = recorder.config().max_events;
+      tc.cpu_hz = config_.cpu_hz;
+      lane.trace = std::make_unique<obs::TraceRecorder>(tc);
+      lane.obs.attach_trace(lane.trace.get());
+    }
+    return;
+  }
   obs_.attach_trace(&recorder);
+}
+
+void Simulation::merge_lane_traces() {
+  struct Item {
+    const obs::TraceEvent* ev;
+    std::size_t lane;
+    std::size_t idx;
+  };
+  std::vector<Item> items;
+  for (std::size_t l = 0; l < shard_->size(); ++l) {
+    Lane& lane = shard_->lane(l);
+    if (!lane.trace) continue;
+    const auto& events = lane.trace->events();
+    for (std::size_t i = lane.trace_consumed; i < events.size(); ++i) {
+      items.push_back({&events[i], l, i});
+    }
+    lane.trace_consumed = events.size();
+  }
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.ev->ts != b.ev->ts) return a.ev->ts < b.ev->ts;
+    if (a.lane != b.lane) return a.lane < b.lane;
+    return a.idx < b.idx;
+  });
+  for (const Item& item : items) user_trace_->record(*item.ev);
 }
 
 void Simulation::report_json(std::ostream& out) const {
@@ -337,23 +624,34 @@ void Simulation::report_json(std::ostream& out) const {
   obs::JsonWriter w(out);
   w.begin_object();
 
+  std::uint64_t wire_ingress = 0;
+  if (shard_) {
+    for (std::size_t l = 0; l < shard_->size(); ++l) {
+      wire_ingress += shard_->lane(l).manager->wire_ingress();
+    }
+  } else {
+    wire_ingress = manager_->wire_ingress();
+  }
+
   w.key("meta");
   w.begin_object();
   w.field("elapsed_seconds", elapsed);
   w.field("cpu_hz", config_.cpu_hz);
-  w.field("now_cycles", static_cast<std::int64_t>(engine_.now()));
-  w.field("dispatched_events", engine_.dispatched_events());
-  w.field("wire_ingress", manager_->wire_ingress());
+  w.field("now_cycles", static_cast<std::int64_t>(now_cycles()));
+  w.field("dispatched_events", shard_ ? shard_->dispatched_events()
+                                      : engine_.dispatched_events());
+  w.field("wire_ingress", wire_ingress);
   w.end_object();
 
   w.key("nfs");
   w.begin_array();
   for (flow::NfId id = 0; id < nfs_.size(); ++id) {
     const NfMetrics m = nf_metrics(id);
-    const auto& mc = manager_->nf_counters(id);
+    const mgr::Manager& mgr = mgr_of(id);
+    const auto& mc = mgr.nf_counters(id);
     w.begin_object();
     w.field("name", std::string_view(m.name));
-    w.field("core", std::string_view(manager_->core_of(id)->name()));
+    w.field("core", std::string_view(cores_[nf_lane_[id]]->name()));
     w.field("offered", mc.offered);
     w.field("arrivals", m.arrivals);
     w.field("processed", m.processed);
@@ -368,12 +666,12 @@ void Simulation::report_json(std::ostream& out) const {
     w.field("cpu_share", nf_cpu_share(id));
     w.field("avg_sched_latency_ms", m.avg_sched_latency_ms);
     w.field("rx_queue_len", m.rx_queue_len);
-    if (manager_->config().lifecycle.enabled) {
-      const auto& ls = manager_->nf_lifecycle_stats(id);
+    if (mgr.config().lifecycle.enabled) {
+      const auto& ls = mgr.nf_lifecycle_stats(id);
       w.key("lifecycle");
       w.begin_object();
       w.field("state",
-              std::string_view(fault::to_string(manager_->nf_lifecycle(id))));
+              std::string_view(fault::to_string(mgr.nf_lifecycle(id))));
       w.field("crashes", ls.crashes);
       w.field("forced_crashes", ls.forced_crashes);
       w.field("restarts", ls.restarts);
@@ -389,7 +687,20 @@ void Simulation::report_json(std::ostream& out) const {
   w.begin_array();
   for (flow::ChainId id = 0; id < chains_.size(); ++id) {
     const ChainMetrics m = chain_metrics(id);
-    const Histogram& lat = manager_->chain_latency(id);
+    // Sharded: egress (and hence latency recording) happens on the last
+    // hop's lane; merge the per-lane histograms. Same bucketing as
+    // mgr::ChainLatency, so quantiles come out of the merged buckets
+    // exactly as a single-registry run would produce them.
+    Histogram merged_lat(1ULL << 40, 8);
+    const Histogram* lat = nullptr;
+    if (shard_) {
+      for (std::size_t l = 0; l < shard_->size(); ++l) {
+        merged_lat.merge(shard_->lane(l).manager->chain_latency(id));
+      }
+      lat = &merged_lat;
+    } else {
+      lat = &manager_->chain_latency(id);
+    }
     w.begin_object();
     w.field("name", std::string_view(chains_.get(id).name));
     w.field("entry_admitted", m.entry_admitted);
@@ -402,9 +713,9 @@ void Simulation::report_json(std::ostream& out) const {
                 : 0.0);
     w.key("latency_cycles");
     w.begin_object();
-    w.field("p50", lat.value_at_quantile(0.5));
-    w.field("p99", lat.value_at_quantile(0.99));
-    w.field("max", lat.max());
+    w.field("p50", lat->value_at_quantile(0.5));
+    w.field("p99", lat->value_at_quantile(0.99));
+    w.field("max", lat->max());
     w.end_object();
     w.end_object();
   }
@@ -419,18 +730,30 @@ void Simulation::report_json(std::ostream& out) const {
     w.field("busy_cycles", static_cast<std::int64_t>(core->busy_cycles()));
     w.field("switch_overhead_cycles",
             static_cast<std::int64_t>(core->switch_overhead_cycles()));
+    const Cycles now = now_cycles();
     w.field("utilization",
-            engine_.now() > 0 ? static_cast<double>(core->busy_cycles()) /
-                                    static_cast<double>(engine_.now())
-                              : 0.0);
+            now > 0 ? static_cast<double>(core->busy_cycles()) /
+                          static_cast<double>(now)
+                    : 0.0);
     w.end_object();
   }
   w.end_array();
 
-  // Full registry dump: every instrument any component registered.
+  // Full registry dump: every instrument any component registered. Sharded
+  // runs merge the per-lane registries (counters sum, histograms merge)
+  // into the same key space the legacy dump uses.
   {
     std::ostringstream metrics;
-    obs_.metrics().write_json(metrics);
+    if (shard_) {
+      std::vector<const obs::MetricsRegistry*> parts;
+      parts.push_back(&obs_.metrics());
+      for (std::size_t l = 0; l < shard_->size(); ++l) {
+        parts.push_back(&shard_->lane(l).obs.metrics());
+      }
+      obs::MetricsRegistry::write_json_merged(parts, metrics);
+    } else {
+      obs_.metrics().write_json(metrics);
+    }
     w.key("metrics");
     w.raw(metrics.str());
   }

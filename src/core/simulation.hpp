@@ -43,6 +43,9 @@
 
 namespace nfv::core {
 
+struct Lane;
+class ShardRuntime;
+
 enum class SchedPolicy {
   kCfsNormal,   ///< SCHED_NORMAL (CFS with wakeup preemption).
   kCfsBatch,    ///< SCHED_BATCH (the scheduler NFVnice pairs best with).
@@ -82,6 +85,24 @@ struct PlatformConfig {
   /// Arrivals a traffic source delivers per timer event (exact per-packet
   /// timestamps; 1 = one event per packet).
   std::uint32_t source_burst = 8;
+
+  // -- sharded engine (DESIGN.md §14) ---------------------------------------
+  /// 0 = the classic single-threaded engine (the byte-exact legacy path).
+  /// N >= 1 = sharded mode: one event lane per core, driven by
+  /// min(N, cores) worker threads under a conservative-lookahead barrier.
+  /// Sharded results are byte-identical for every N >= 1 (the lane
+  /// decomposition is fixed by the topology; N only picks the parallelism)
+  /// but differ from the legacy path, which interleaves all cores in one
+  /// event queue with no cross-core latency. When left at 0, the
+  /// NFV_SIM_SHARDS environment variable (a positive integer) selects
+  /// sharded mode — mirroring NFV_BENCH_WORKERS.
+  std::uint32_t sim_shards = 0;
+  /// Modelled cross-lane transit time: a packet handed to an NF on another
+  /// core arrives this many cycles later. It also bounds the lanes'
+  /// conservative lookahead (the epoch length), so lower values cost more
+  /// barriers per simulated second. Default 10 us at 2.6 GHz — one manager
+  /// wakeup period, comparable to a loaded inter-core ring + wakeup hop.
+  Cycles cross_lane_latency = 26'000;
 
   /// Force every per-burst knob to `window` (1 = the seed's fully
   /// per-packet event schedule; used by the equivalence tests).
@@ -210,17 +231,13 @@ class Simulation {
   void set_fault_plan(fault::FaultPlan plan);
 
   /// Per-chain policy while an NF on the chain is down (default: the
-  /// LifecycleConfig's default_dead_policy, i.e. backpressure).
-  void set_dead_policy(flow::ChainId chain, fault::DeadNfPolicy policy) {
-    manager_->set_dead_policy(chain, policy);
-  }
-  [[nodiscard]] fault::NfLifecycle nf_lifecycle(flow::NfId id) const {
-    return manager_->nf_lifecycle(id);
-  }
+  /// LifecycleConfig's default_dead_policy, i.e. backpressure). Sharded
+  /// simulations apply the policy on every lane (routing decisions happen
+  /// wherever the packet is).
+  void set_dead_policy(flow::ChainId chain, fault::DeadNfPolicy policy);
+  [[nodiscard]] fault::NfLifecycle nf_lifecycle(flow::NfId id) const;
   [[nodiscard]] const fault::NfLifecycleStats& nf_lifecycle_stats(
-      flow::NfId id) const {
-    return manager_->nf_lifecycle_stats(id);
-  }
+      flow::NfId id) const;
 
   // -- traffic ---------------------------------------------------------------
   flow::FlowId add_udp_flow(flow::ChainId chain, double rate_pps,
@@ -249,15 +266,21 @@ class Simulation {
   /// CPU utilisation of an NF over the whole run so far (runtime/elapsed).
   [[nodiscard]] double nf_cpu_share(flow::NfId id) const;
 
+  /// The legacy single-engine event queue. Unused (never run) when
+  /// sharded() — schedule on a lane's engine instead.
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] const CpuClock& clock() const { return clock_; }
-  [[nodiscard]] mgr::Manager& manager() { return *manager_; }
+  /// Legacy accessor; when sharded() returns lane 0's Manager replica.
+  [[nodiscard]] mgr::Manager& manager();
   [[nodiscard]] sched::Core& core(std::size_t index) { return *cores_[index]; }
   [[nodiscard]] std::size_t core_count() const { return cores_.size(); }
   [[nodiscard]] nf::NfTask& nf(flow::NfId id) { return *nfs_[id]; }
   [[nodiscard]] std::size_t nf_count() const { return nfs_.size(); }
+  /// Legacy accessors; when sharded() they return lane 0's replicas.
   [[nodiscard]] io::BlockDevice& disk();
-  [[nodiscard]] pktio::MbufPool& pool() { return *pool_; }
+  [[nodiscard]] pktio::MbufPool& pool();
+  /// True when this simulation runs on the sharded engine (DESIGN.md §14).
+  [[nodiscard]] bool sharded() const { return shard_ != nullptr; }
   [[nodiscard]] flow::FlowTable& flow_table() { return flows_; }
   [[nodiscard]] const flow::FlowTable& flow_table() const { return flows_; }
   [[nodiscard]] flow::ChainRegistry& chains() { return chains_; }
@@ -289,11 +312,29 @@ class Simulation {
 
  private:
   void ensure_started();
+  void start_sharded();
   pktio::FlowKey next_flow_key(std::uint8_t proto);
+  // -- sharded-engine plumbing (DESIGN.md §14; no-ops / trivial in legacy
+  //    mode, where shard_ is null).
+  [[nodiscard]] Cycles now_cycles() const;
+  /// The Manager that owns `id`: the lane replica when sharded, else the
+  /// single legacy manager.
+  [[nodiscard]] mgr::Manager& mgr_of(flow::NfId id) const;
+  /// The lane a chain's traffic enters on (its first hop's lane); null in
+  /// legacy mode.
+  [[nodiscard]] Lane* home_lane_ptr(flow::ChainId chain);
+  /// The slice of the installed fault plan that belongs to one lane.
+  [[nodiscard]] fault::FaultPlan lane_fault_plan(std::size_t lane_id) const;
+  /// Move new per-lane trace events into the user's recorder, ordered by
+  /// (timestamp, lane, intra-lane sequence).
+  void merge_lane_traces();
 
   PlatformConfig config_;
   CpuClock clock_;
   sim::Engine engine_;
+  // Owns the lane engines; declared (like engine_) before every component
+  // that runs on them, so workers join and engines die last.
+  std::unique_ptr<ShardRuntime> shard_;
   std::unique_ptr<pktio::MbufPool> pool_;
   flow::FlowTable flows_;
   flow::ChainRegistry chains_;
@@ -310,6 +351,14 @@ class Simulation {
   std::vector<std::unique_ptr<traffic::ChurnSource>> churn_sources_;
   std::uint32_t next_ip_ = 1;
   bool started_ = false;
+
+  // -- sharded-engine state (empty / unused in legacy mode) -----------------
+  std::vector<std::uint32_t> nf_lane_;  ///< Core (= lane) index per NF.
+  std::vector<std::uint32_t> io_lane_;  ///< Lane index per io engine.
+  /// Fault plan held until start, then split into per-lane plans.
+  std::unique_ptr<fault::FaultPlan> fault_plan_;
+  bool lifecycle_requested_ = false;
+  obs::TraceRecorder* user_trace_ = nullptr;
 };
 
 }  // namespace nfv::core

@@ -37,11 +37,34 @@ Manager::Manager(sim::Engine& engine, pktio::MbufPool& pool,
 }
 
 flow::NfId Manager::register_nf(nf::NfTask* task, sched::Core* core) {
-  assert(!started_ && "register NFs before start()");
   const auto id = static_cast<flow::NfId>(records_.size());
-  records_.emplace_back();
-  records_.back().task = task;
-  records_.back().core = core;
+  register_nf_at(id, task, core);
+  return id;
+}
+
+void Manager::ensure_record(flow::NfId id) {
+  if (id >= records_.size()) records_.resize(id + 1);
+}
+
+void Manager::register_remote_nf(flow::NfId id, std::string name,
+                                 std::uint32_t owner_lane) {
+  assert(!started_ && "register NFs before start()");
+  ensure_record(id);
+  NfRecord& rec = records_[id];
+  assert(rec.task == nullptr && rec.name.empty() && "id registered twice");
+  rec.name = std::move(name);
+  rec.owner_lane = owner_lane;
+}
+
+void Manager::register_nf_at(flow::NfId id, nf::NfTask* task,
+                             sched::Core* core) {
+  assert(!started_ && "register NFs before start()");
+  ensure_record(id);
+  assert(records_[id].task == nullptr && records_[id].name.empty() &&
+         "id registered twice");
+  records_[id].task = task;
+  records_[id].core = core;
+  records_[id].name = task->config().name;
   core->add_task(task);
   task->set_tx_notify([this, id](nf::NfTask&) { schedule_drain(id); });
   task->set_packet_release([this](pktio::Mbuf* pkt) { pool_.free(pkt); });
@@ -82,7 +105,103 @@ flow::NfId Manager::register_nf(nf::NfTask* task, sched::Core* core) {
     rec.shares_writes = scope.counter("mgr.shares_writes");
     rec.cpu_shares = scope.gauge("mgr.cpu_shares");
   }
-  return id;
+}
+
+void Manager::set_shard_link(ShardLink* link, std::uint32_t lane,
+                             Cycles latency) {
+  assert(!started_ && "wire the shard link before start()");
+  shard_link_ = link;
+  lane_id_ = lane;
+  shard_latency_ = latency;
+  if (obs_ != nullptr) {
+    obs::Scope scope = obs_->global_scope();
+    scope.counter_fn("mgr.shard_tx_msgs", [this] { return shard_tx_msgs_; });
+    scope.counter_fn("mgr.shard_rx_msgs", [this] { return shard_rx_msgs_; });
+    scope.counter_fn("mgr.shard_alloc_drops",
+                     [this] { return shard_alloc_drops_; });
+  }
+}
+
+void Manager::post_remote(std::uint32_t dst, ShardMsg msg) {
+  assert(shard_link_ != nullptr && dst != lane_id_);
+  msg.when = engine_.now() + shard_latency_;
+  ++shard_tx_msgs_;
+  shard_link_->post(lane_id_, dst, msg);
+}
+
+void Manager::broadcast_remote(const ShardMsg& msg) {
+  if (shard_link_ == nullptr) return;
+  for (std::uint32_t dst = 0; dst < shard_link_->lane_count(); ++dst) {
+    if (dst != lane_id_) post_remote(dst, msg);
+  }
+}
+
+void Manager::apply_shard_msg(const ShardMsg& msg) {
+  ++shard_rx_msgs_;
+  switch (msg.kind) {
+    case ShardMsg::Kind::kPacket: {
+      pktio::Mbuf* pkt = pool_.alloc();
+      if (pkt == nullptr) {
+        // Destination pool exhausted: the sharded analogue of an rx mempool
+        // alloc failure. Dropped here, counted, never silently lost.
+        ++shard_alloc_drops_;
+        return;
+      }
+      const auto pool_index = pkt->pool_index;
+      *pkt = msg.pkt;
+      pkt->pool_index = pool_index;  // descriptor identity stays local
+      enqueue_to_nf(msg.nf, pkt, engine_.now());
+      break;
+    }
+    case ShardMsg::Kind::kFlowEgress: {
+      const flow::FlowId flow = msg.pkt.flow_id;
+      if (flow >= flow_counters_.size()) flow_counters_.resize(flow + 1);
+      auto& fc = flow_counters_[flow];
+      ++fc.egress_packets;
+      fc.egress_bytes += msg.pkt.size_bytes;
+      if (flow < egress_sinks_.size() && egress_sinks_[flow]) {
+        egress_sinks_[flow](msg.pkt);
+      }
+      break;
+    }
+    case ShardMsg::Kind::kEcnMark: {
+      const flow::FlowId flow = msg.pkt.flow_id;
+      if (flow >= flow_counters_.size()) flow_counters_.resize(flow + 1);
+      ++flow_counters_[flow].ecn_marked;
+      break;
+    }
+    case ShardMsg::Kind::kBpState:
+      if (bp_) bp_->apply_remote_state(msg.nf, msg.bp_state);
+      break;
+    case ShardMsg::Kind::kNfDeath: {
+      NfRecord& rec = records_[msg.nf];
+      assert(rec.task == nullptr && "death broadcast for a local NF");
+      rec.remote_dead = true;
+      for (flow::ChainId chain : chains_.chains_through(msg.nf)) {
+        if (chain >= dead_on_chain_.size()) {
+          dead_on_chain_.resize(chain + 1, 0);
+        }
+        ++dead_on_chain_[chain];
+      }
+      // No bp_ update here: the owning lane's Throttle pin (when the chain
+      // policies want one) arrives as its own kBpState mirror — touching
+      // refcounts from both messages would double-count.
+      break;
+    }
+    case ShardMsg::Kind::kNfRevive: {
+      NfRecord& rec = records_[msg.nf];
+      rec.remote_dead = false;
+      for (flow::ChainId chain : chains_.chains_through(msg.nf)) {
+        if (chain < dead_on_chain_.size() && dead_on_chain_[chain] > 0) {
+          --dead_on_chain_[chain];
+        }
+      }
+      break;
+    }
+    case ShardMsg::Kind::kDownstreamDrop:
+      ++records_[msg.nf].counters.downstream_drops;
+      break;
+  }
 }
 
 void Manager::start() {
@@ -92,10 +211,22 @@ void Manager::start() {
   bp_ = std::make_unique<bp::BackpressureManager>(chains_, records_.size(),
                                                   config_.backpressure);
   ecn_ = std::make_unique<bp::EcnMarker>(records_.size(), config_.ecn);
+  if (shard_link_ != nullptr) {
+    // Every real transition of a local NF is mirrored to the other lanes so
+    // their chain_throttled()/should_pause_upstream() views stay coherent.
+    bp_->set_state_listener(
+        [this](flow::NfId nf, bp::ThrottleState to, Cycles) {
+          ShardMsg msg;
+          msg.kind = ShardMsg::Kind::kBpState;
+          msg.nf = nf;
+          msg.bp_state = to;
+          broadcast_remote(msg);
+        });
+  }
   if (obs_ != nullptr) {
     std::vector<std::string> nf_names;
     nf_names.reserve(records_.size());
-    for (const auto& rec : records_) nf_names.push_back(rec.task->config().name);
+    for (const auto& rec : records_) nf_names.push_back(rec.name);
     bp_->set_observability(obs_, std::move(nf_names));
     for (flow::ChainId id = 0; id < chains_.size(); ++id) {
       obs::Scope scope = obs_->chain_scope(std::to_string(id));
@@ -193,14 +324,37 @@ void Manager::ingress(pktio::Mbuf* pkt, const pktio::FlowKey& key,
 
 void Manager::enqueue_to_nf(flow::NfId nf_id, pktio::Mbuf* pkt, Cycles when) {
   NfRecord& rec = records_[nf_id];
+  if (rec.task == nullptr) {
+    // Next hop lives on another lane: hand the packet off by value. The
+    // descriptor returns to this lane's pool; the owning lane re-allocates
+    // from its own and counts the packet as offered on delivery.
+    ShardMsg msg;
+    msg.kind = ShardMsg::Kind::kPacket;
+    msg.nf = nf_id;
+    msg.pkt = *pkt;
+    post_remote(rec.owner_lane, msg);
+    pool_.free(pkt);
+    return;
+  }
   nf::NfTask& task = *rec.task;
   ++rec.counters.offered;
 
   if (config_.enable_ecn) {
     auto& fc = flow_counters_;
     if (ecn_->on_enqueue(nf_id, task.rx_ring(), *pkt)) {
-      if (pkt->flow_id >= fc.size()) fc.resize(pkt->flow_id + 1);
-      ++fc[pkt->flow_id].ecn_marked;
+      // Per-flow accounting lives on the flow's home lane (the lane of the
+      // chain's first hop, which owns the flow-table entry and so the
+      // meaning of pkt->flow_id). Mid-chain lanes route the count home.
+      const flow::NfId head = chains_.get(pkt->chain_id).hops.front();
+      if (records_[head].task != nullptr) {
+        if (pkt->flow_id >= fc.size()) fc.resize(pkt->flow_id + 1);
+        ++fc[pkt->flow_id].ecn_marked;
+      } else {
+        ShardMsg msg;
+        msg.kind = ShardMsg::Kind::kEcnMark;
+        msg.pkt = *pkt;
+        post_remote(records_[head].owner_lane, msg);
+      }
       obs::inc(rec.ecn_marks);
       if (auto* tr = obs::trace_of(obs_)) {
         tr->instant(when, obs::kManagerLane, "mgr", "ecn_mark",
@@ -219,7 +373,15 @@ void Manager::enqueue_to_nf(flow::NfId nf_id, pktio::Mbuf* pkt, Cycles when) {
       ++rec.counters.wasted_drops_here;
       // Attribute the wasted work to the NF that processed it last.
       const auto& hops = chains_.get(pkt->chain_id).hops;
-      ++records_[hops[pkt->chain_pos - 1]].counters.downstream_drops;
+      NfRecord& prev = records_[hops[pkt->chain_pos - 1]];
+      if (prev.task != nullptr) {
+        ++prev.counters.downstream_drops;
+      } else {
+        ShardMsg msg;
+        msg.kind = ShardMsg::Kind::kDownstreamDrop;
+        msg.nf = hops[pkt->chain_pos - 1];
+        post_remote(prev.owner_lane, msg);
+      }
     }
     if (auto* tr = obs::trace_of(obs_)) {
       tr->instant(when, obs::kManagerLane, "mgr", "drop",
@@ -296,6 +458,18 @@ void Manager::egress(pktio::Mbuf* pkt) {
   }
   chain_latency_[pkt->chain_id].record(engine_.now() - pkt->arrival_time);
 
+  // Per-flow counters and the egress sink live on the flow's home lane;
+  // when the chain's last hop is elsewhere, route the event home (the
+  // packet travels by value so e.g. a TCP sink still sees its fields).
+  const flow::NfId head = chains_.get(pkt->chain_id).hops.front();
+  if (records_[head].task == nullptr) {
+    ShardMsg msg;
+    msg.kind = ShardMsg::Kind::kFlowEgress;
+    msg.pkt = *pkt;
+    post_remote(records_[head].owner_lane, msg);
+    return;
+  }
+
   if (pkt->flow_id >= flow_counters_.size()) {
     flow_counters_.resize(pkt->flow_id + 1);
   }
@@ -334,14 +508,17 @@ const FlowCounters& Manager::flow_counters(flow::FlowId id) const {
 void Manager::wakeup_scan() {
   const Cycles now = engine_.now();
   obs::inc(ctr_wakeup_scans_);
-  // Pass 1: advance every NF's backpressure state machine.
+  // Pass 1: advance every local NF's backpressure state machine (remote
+  // NFs' states arrive as kBpState mirrors from their owning lanes).
   for (flow::NfId id = 0; id < records_.size(); ++id) {
+    if (records_[id].task == nullptr) continue;
     nf::NfTask& task = *records_[id].task;
     bp_->evaluate(id, task.rx_ring(), now);
     if (task.rx_ring().below_low_watermark()) task.set_overload_flag(false);
   }
   // Pass 2: classify — apply backpressure (relinquish flags) or wake (§3.5).
   for (flow::NfId id = 0; id < records_.size(); ++id) {
+    if (records_[id].task == nullptr) continue;
     nf::NfTask& task = *records_[id].task;
     const bool pause =
         config_.enable_backpressure && bp_->should_pause_upstream(id);
@@ -367,6 +544,7 @@ void Manager::monitor_tick() {
   const Cycles now = engine_.now();
   obs::inc(ctr_monitor_ticks_);
   for (auto& rec : records_) {
+    if (rec.task == nullptr) continue;  // remote NF: its lane estimates it
     if (rec.life == fault::NfLifecycle::kDead ||
         rec.life == fault::NfLifecycle::kRestarting) {
       // A down NF consumes no CPU: zero its estimate but keep the offered
@@ -407,6 +585,7 @@ void Manager::update_shares() {
   // 1 ms estimates before touching the (costly) cgroup filesystem.
   std::vector<sched::Core*> seen;
   for (auto& rec : records_) {
+    if (rec.task == nullptr) continue;  // remote NF: no core on this lane
     if (std::find(seen.begin(), seen.end(), rec.core) != seen.end()) continue;
     seen.push_back(rec.core);
     double total = 0.0;
@@ -547,6 +726,7 @@ void Manager::watchdog_scan() {
   const Cycles now = engine_.now();
   for (flow::NfId id = 0; id < records_.size(); ++id) {
     NfRecord& rec = records_[id];
+    if (rec.task == nullptr) continue;  // remote NF: its lane watches it
     nf::NfTask& task = *rec.task;
     switch (rec.life) {
       case fault::NfLifecycle::kRunning: {
@@ -644,6 +824,12 @@ void Manager::on_nf_death(flow::NfId id, Cycles now, bool forced) {
   rec.restart_pending = true;
   rec.pending_restart_delay = fault::kDefaultRestart;
   trace_lifecycle(id, from, "DEAD", now);
+  if (shard_link_ != nullptr) {
+    ShardMsg msg;
+    msg.kind = ShardMsg::Kind::kNfDeath;
+    msg.nf = id;
+    broadcast_remote(msg);
+  }
 }
 
 void Manager::begin_restart(flow::NfId id, Cycles now) {
@@ -700,6 +886,12 @@ void Manager::finish_restart(flow::NfId id) {
   rec.wd_last_runtime = rec.task->stats().runtime;
   rec.stuck_count = 0;
   trace_lifecycle(id, "RESTARTING", "WARMING", now);
+  if (shard_link_ != nullptr) {
+    ShardMsg msg;
+    msg.kind = ShardMsg::Kind::kNfRevive;
+    msg.nf = id;
+    broadcast_remote(msg);
+  }
   // Its RX ring survived the outage in manager-owned shared memory; if a
   // backlog is waiting, put the revived process straight to work.
   if (rec.task->has_runnable_work()) rec.core->wake(rec.task);
@@ -716,8 +908,10 @@ void Manager::complete_recovery(flow::NfId id, Cycles now) {
 void Manager::skip_dead_hops(pktio::Mbuf* pkt, flow::ChainId chain) {
   const auto& hops = chains_.get(chain).hops;
   auto& cc = chain_counters_[chain];
-  while (pkt->chain_pos < hops.size() &&
-         records_[hops[pkt->chain_pos]].task->dead()) {
+  while (pkt->chain_pos < hops.size()) {
+    const NfRecord& hop = records_[hops[pkt->chain_pos]];
+    const bool dead = hop.task != nullptr ? hop.task->dead() : hop.remote_dead;
+    if (!dead) break;
     ++cc.bypassed_hops;
     ++pkt->chain_pos;
   }

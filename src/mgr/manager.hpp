@@ -30,6 +30,7 @@
 #include "fault/lifecycle.hpp"
 #include "flow/flow_table.hpp"
 #include "flow/service_chain.hpp"
+#include "mgr/shard_link.hpp"
 #include "nf/nf_task.hpp"
 #include "obs/observability.hpp"
 #include "pktio/flow_key.hpp"
@@ -162,6 +163,35 @@ class Manager : public fault::FaultSink {
   /// chain registry uses). Wires libnf's callbacks to this manager.
   flow::NfId register_nf(nf::NfTask* task, sched::Core* core);
 
+  // -- sharded simulation (DESIGN.md §14) -----------------------------------
+  // In a sharded Simulation every lane runs its own Manager replica over
+  // the *global* NfId space: NFs on this lane are registered with their
+  // task, NFs on other lanes as remote placeholders (task == nullptr). All
+  // scan loops skip placeholders; the packet path forwards to them through
+  // the shard link.
+
+  /// Wire this replica to the lane runtime. `lane` is this manager's lane
+  /// id, `latency` the modelled cross-lane transit time every message is
+  /// stamped with (it bounds the lanes' conservative lookahead).
+  void set_shard_link(ShardLink* link, std::uint32_t lane, Cycles latency);
+
+  /// Register a local NF under an externally assigned (global) id.
+  void register_nf_at(flow::NfId id, nf::NfTask* task, sched::Core* core);
+
+  /// Register a placeholder for an NF owned by lane `owner_lane`. `name`
+  /// feeds backpressure observability (mirrored states are queriable).
+  void register_remote_nf(flow::NfId id, std::string name,
+                          std::uint32_t owner_lane);
+
+  /// Does this lane's replica own (run) the NF?
+  [[nodiscard]] bool owns_nf(flow::NfId id) const {
+    return id < records_.size() && records_[id].task != nullptr;
+  }
+
+  /// Deliver a cross-lane message. Called from an engine event the lane
+  /// runtime scheduled at msg.when while draining this lane's mailboxes.
+  void apply_shard_msg(const ShardMsg& msg);
+
   /// Arm the Wakeup and Monitor threads. Call after all NFs and chains are
   /// registered and before traffic starts.
   void start();
@@ -234,8 +264,13 @@ class Manager : public fault::FaultSink {
 
  private:
   struct NfRecord {
-    nf::NfTask* task = nullptr;
+    nf::NfTask* task = nullptr;  ///< nullptr = remote NF (another lane's).
     sched::Core* core = nullptr;
+    std::string name;            ///< config name (local) or mirrored name.
+    std::uint32_t owner_lane = 0;  ///< Lane running the NF when remote.
+    /// Mirrored liveness of a remote NF (kNfDeath/kNfRevive broadcasts);
+    /// lets skip_dead_hops route around dead hops on other lanes.
+    bool remote_dead = false;
     NfManagerCounters counters;
     bool drain_scheduled = false;
     std::uint64_t offered_at_last_tick = 0;
@@ -275,6 +310,12 @@ class Manager : public fault::FaultSink {
   };
 
   void enqueue_to_nf(flow::NfId nf_id, pktio::Mbuf* pkt, Cycles when);
+  /// Grow records_ to cover `id` (sparse global-id registration).
+  void ensure_record(flow::NfId id);
+  /// Stamp msg.when = now + shard latency and post to `dst`'s mailbox.
+  void post_remote(std::uint32_t dst, ShardMsg msg);
+  /// Post to every lane but ours (bp / lifecycle control mirrors).
+  void broadcast_remote(const ShardMsg& msg);
   void schedule_drain(flow::NfId nf_id);
   void drain_tx(flow::NfId nf_id);
   void egress(pktio::Mbuf* pkt);
@@ -337,6 +378,16 @@ class Manager : public fault::FaultSink {
   obs::Counter* ctr_unmatched_drops_ = nullptr;
   obs::Counter* ctr_wakeup_scans_ = nullptr;
   obs::Counter* ctr_monitor_ticks_ = nullptr;
+
+  // -- sharded simulation (null / zero in single-lane runs) -----------------
+  ShardLink* shard_link_ = nullptr;
+  std::uint32_t lane_id_ = 0;
+  Cycles shard_latency_ = 0;
+  std::uint64_t shard_tx_msgs_ = 0;
+  std::uint64_t shard_rx_msgs_ = 0;
+  /// Cross-lane packets dropped because the destination pool was exhausted
+  /// (the sharded analogue of an rx mempool alloc failure).
+  std::uint64_t shard_alloc_drops_ = 0;
 };
 
 }  // namespace nfv::mgr

@@ -110,6 +110,91 @@ std::uint64_t MetricsRegistry::sample_counter(const std::string& name,
              : 0;
 }
 
+void MetricsRegistry::write_json_merged(
+    const std::vector<const MetricsRegistry*>& parts, std::ostream& out) {
+  struct Merged {
+    const Entry* first = nullptr;
+    std::uint64_t counter = 0;
+    double gauge = 0.0;
+    std::vector<const Histogram*> histograms;
+    bool is_counter = false;
+    bool is_gauge = false;
+  };
+  // std::map keyed identically to entries_, so the merged export iterates in
+  // exactly the order write_json would.
+  std::map<std::string, Merged> merged;
+  for (const MetricsRegistry* part : parts) {
+    if (part == nullptr) continue;
+    for (const auto& [key, entry] : part->entries_) {
+      Merged& m = merged[key];
+      if (m.first == nullptr) m.first = &entry;
+      switch (entry.kind) {
+        case Kind::kCounter:
+          m.is_counter = true;
+          m.counter += entry.counter->value();
+          break;
+        case Kind::kCounterFn:
+          m.is_counter = true;
+          m.counter += entry.counter_fn ? entry.counter_fn() : 0;
+          break;
+        case Kind::kGauge:
+          m.is_gauge = true;
+          m.gauge += entry.gauge->value();
+          break;
+        case Kind::kGaugeFn:
+          m.is_gauge = true;
+          m.gauge += entry.gauge_fn ? entry.gauge_fn() : 0.0;
+          break;
+        case Kind::kHistogram:
+          m.histograms.push_back(entry.histogram.get());
+          break;
+      }
+      assert(!(m.is_counter && m.is_gauge) &&
+             "series registered as counter in one registry, gauge in another");
+      assert((m.histograms.empty() || (!m.is_counter && !m.is_gauge)) &&
+             "series registered as histogram in one registry, scalar in another");
+    }
+  }
+
+  JsonWriter json(out);
+  json.begin_array();
+  for (const auto& [key, m] : merged) {
+    (void)key;
+    const Entry& entry = *m.first;
+    json.begin_object();
+    json.field("name", std::string_view(entry.name));
+    json.key("labels");
+    json.begin_object();
+    for (const auto& [k, v] : entry.labels) {
+      json.field(std::string_view(k), std::string_view(v));
+    }
+    json.end_object();
+    if (m.is_counter) {
+      json.field("type", "counter");
+      json.field("value", m.counter);
+    } else if (m.is_gauge) {
+      json.field("type", "gauge");
+      json.field("value", m.gauge);
+    } else {
+      Histogram h = *m.histograms.front();
+      for (std::size_t i = 1; i < m.histograms.size(); ++i) {
+        h.merge(*m.histograms[i]);
+      }
+      json.field("type", "histogram");
+      json.field("count", h.count());
+      json.field("sum", h.sum());
+      json.field("min", h.min());
+      json.field("max", h.max());
+      json.field("p50", h.value_at_quantile(0.50));
+      json.field("p90", h.value_at_quantile(0.90));
+      json.field("p99", h.value_at_quantile(0.99));
+      json.field("p999", h.value_at_quantile(0.999));
+    }
+    json.end_object();
+  }
+  json.end_array();
+}
+
 void MetricsRegistry::write_json(std::ostream& out) const {
   JsonWriter json(out);
   json.begin_array();

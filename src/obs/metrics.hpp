@@ -108,6 +108,15 @@ class MetricsRegistry {
   /// Histograms export count/sum/min/max plus p50/p90/p99/p999.
   void write_json(std::ostream& out) const;
 
+  /// Union of several registries in one export, in the same format and sort
+  /// order as write_json. Series that appear in more than one registry are
+  /// combined: counters (owned and sampled) sum, gauges sum, histograms
+  /// merge (identical bucketing required, as with Histogram::merge). The
+  /// sharded simulation uses this to present its per-lane registries as the
+  /// single namespace a one-lane run would produce.
+  static void write_json_merged(const std::vector<const MetricsRegistry*>& parts,
+                                std::ostream& out);
+
  private:
   enum class Kind { kCounter, kGauge, kHistogram, kCounterFn, kGaugeFn };
 

@@ -1,0 +1,81 @@
+#include "sim/shard_barrier.hpp"
+
+#include <cassert>
+
+namespace nfv::sim {
+
+namespace {
+
+/// Spin briefly, then yield. The yield matters: on hosts with fewer cores
+/// than workers (CI runners, laptops) a pure spin barrier makes every epoch
+/// cost a scheduling quantum per oversubscribed worker.
+inline void backoff(unsigned& spins) {
+  if (++spins < 64) {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  } else {
+    spins = 0;
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace
+
+ShardExecutor::ShardExecutor(std::size_t lanes, std::size_t workers)
+    : lanes_(lanes),
+      workers_(workers < 1 ? 1 : (workers > lanes ? (lanes ? lanes : 1)
+                                                  : workers)) {
+  threads_.reserve(workers_ - 1);
+  for (std::size_t w = 1; w < workers_; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ShardExecutor::~ShardExecutor() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& t : threads_) t.join();
+}
+
+void ShardExecutor::run_lanes(std::size_t worker) {
+  for (std::size_t lane = worker; lane < lanes_; lane += workers_) {
+    (*fn_)(lane);
+  }
+}
+
+void ShardExecutor::run_phase(const std::function<void(std::size_t)>& fn) {
+  if (workers_ == 1) {
+    for (std::size_t lane = 0; lane < lanes_; ++lane) fn(lane);
+    return;
+  }
+  fn_ = &fn;
+  // Release-publish fn_ to the workers and start the phase.
+  const std::uint64_t gen =
+      generation_.fetch_add(1, std::memory_order_release) + 1;
+  run_lanes(0);  // the caller participates as worker 0
+  done_.fetch_add(1, std::memory_order_release);
+  // Wait for everyone. The acquire load synchronizes with each worker's
+  // release increment (fetch_add chains extend the release sequence), so all
+  // lane writes from this phase are visible once we fall through.
+  unsigned spins = 0;
+  while (done_.load(std::memory_order_acquire) < gen * workers_) {
+    backoff(spins);
+  }
+  fn_ = nullptr;
+}
+
+void ShardExecutor::worker_loop(std::size_t worker) {
+  std::uint64_t seen = 0;
+  unsigned spins = 0;
+  while (true) {
+    while (generation_.load(std::memory_order_acquire) == seen) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      backoff(spins);
+    }
+    ++seen;
+    run_lanes(worker);
+    done_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+}  // namespace nfv::sim

@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -41,6 +42,42 @@ TEST(ParallelRunner, SubmitReturnsIndex) {
   EXPECT_EQ(runner.submit([] { return 0; }), 0u);
   EXPECT_EQ(runner.submit([] { return 0; }), 1u);
   (void)runner.run();
+}
+
+TEST(ParallelRunner, DefaultRunnersShareOneProcessWidePool) {
+  // The fix for pool churn: every default-constructed runner drains through
+  // the same shared_pool(), so scenario groups reuse threads instead of
+  // spawning workers per group. Worker thread ids observed by two separate
+  // runners must come from the same (stable) set.
+  const auto collect_ids = [] {
+    bench::ParallelRunner<std::thread::id> runner;
+    for (std::size_t i = 0; i < 4 * bench::bench_workers(); ++i) {
+      runner.submit([] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return std::this_thread::get_id();
+      });
+    }
+    std::set<std::thread::id> ids;
+    for (const auto& id : runner.run()) ids.insert(id);
+    return ids;
+  };
+  const auto first = collect_ids();
+  const auto second = collect_ids();
+  EXPECT_EQ(first, second);
+  EXPECT_LE(first.size(), bench::bench_workers());
+  EXPECT_EQ(bench::shared_pool().worker_count(), bench::bench_workers());
+}
+
+TEST(ParallelRunner, ExplicitWorkerCountUsesDedicatedPool) {
+  // An explicit non-default worker count must not resize or replace the
+  // shared pool — it gets a throwaway dedicated pool for that run only.
+  const std::size_t odd = bench::bench_workers() + 1;
+  bench::ParallelRunner<int> runner(odd);
+  for (int i = 0; i < 6; ++i) runner.submit([i] { return i; });
+  const auto results = runner.run();
+  ASSERT_EQ(results.size(), 6u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(results[i], i);
+  EXPECT_EQ(bench::shared_pool().worker_count(), bench::bench_workers());
 }
 
 TEST(ParallelRunner, ReusableAfterRun) {

@@ -328,5 +328,75 @@ TEST_F(BackpressureTest, ObservabilityCountsTransitionsPerNf) {
   EXPECT_EQ(trace.events()[2].args[2].second, "CLEAR");
 }
 
+// --- sharded-simulation mirror hooks (DESIGN.md §14) ---
+
+TEST_F(BackpressureTest, RemoteThrottleMarksChainsWithoutStats) {
+  // NF1 throttles on some other lane; this lane's mirror must shed chain1
+  // at the entry but record nothing in its own stats (those belong to the
+  // owning lane, which already counted the transition).
+  bp_->apply_remote_state(1, ThrottleState::kThrottle);
+  EXPECT_EQ(bp_->state(1), ThrottleState::kThrottle);
+  EXPECT_TRUE(bp_->chain_throttled(chain1_));
+  EXPECT_FALSE(bp_->chain_throttled(chain2_));
+  EXPECT_EQ(bp_->stats().throttle_entries, 0u);
+
+  bp_->apply_remote_state(1, ThrottleState::kClear);
+  EXPECT_EQ(bp_->state(1), ThrottleState::kClear);
+  EXPECT_FALSE(bp_->chain_throttled(chain1_));
+  EXPECT_EQ(bp_->stats().throttle_clears, 0u);
+}
+
+TEST_F(BackpressureTest, RemoteStateIsIdempotentOnRefcounts) {
+  // A repeated remote THROTTLE must not double-count the shared-NF chain
+  // refcounts — one CLEAR must fully release both chains.
+  bp_->apply_remote_state(3, ThrottleState::kThrottle);
+  bp_->apply_remote_state(3, ThrottleState::kThrottle);
+  EXPECT_TRUE(bp_->chain_throttled(chain1_));
+  EXPECT_TRUE(bp_->chain_throttled(chain2_));
+  bp_->apply_remote_state(3, ThrottleState::kClear);
+  EXPECT_FALSE(bp_->chain_throttled(chain1_));
+  EXPECT_FALSE(bp_->chain_throttled(chain2_));
+}
+
+TEST_F(BackpressureTest, RemoteWatchTouchesNoChainState) {
+  bp_->apply_remote_state(1, ThrottleState::kWatch);
+  EXPECT_EQ(bp_->state(1), ThrottleState::kWatch);
+  EXPECT_FALSE(bp_->chain_throttled(chain1_));
+  // Watch -> Clear remotely: still no refcount underflow.
+  bp_->apply_remote_state(1, ThrottleState::kClear);
+  EXPECT_FALSE(bp_->chain_throttled(chain1_));
+}
+
+TEST_F(BackpressureTest, ListenerFiresOnLocalTransitionsOnly) {
+  struct Seen {
+    flow::NfId nf;
+    ThrottleState to;
+    Cycles now;
+  };
+  std::vector<Seen> seen;
+  bp_->set_state_listener([&seen](flow::NfId nf, ThrottleState to, Cycles now) {
+    seen.push_back({nf, to, now});
+  });
+
+  // A mirrored remote transition must NOT re-fire the listener (it would
+  // echo forever between lanes).
+  bp_->apply_remote_state(2, ThrottleState::kThrottle);
+  EXPECT_TRUE(seen.empty());
+
+  // A real local arc fires it once per transition, in order.
+  pktio::Ring ring(64, 0.8, 0.6);
+  fill(ring, 52, 0);
+  bp_->evaluate(1, ring, 10);
+  bp_->evaluate(1, ring, 5000);
+  drain(ring, 0);
+  bp_->evaluate(1, ring, 6000);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0].nf, 1u);
+  EXPECT_EQ(seen[0].to, ThrottleState::kWatch);
+  EXPECT_EQ(seen[1].to, ThrottleState::kThrottle);
+  EXPECT_EQ(seen[1].now, 5000);
+  EXPECT_EQ(seen[2].to, ThrottleState::kClear);
+}
+
 }  // namespace
 }  // namespace nfv::bp

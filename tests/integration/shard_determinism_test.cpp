@@ -1,0 +1,261 @@
+// Sharded-engine determinism contract (DESIGN.md §14): for a fixed
+// topology, report_json() and the Chrome trace are byte-identical at every
+// worker count. Each test builds the same simulation at sim_shards = 1 and
+// at higher counts and compares the serialized artifacts byte-for-byte —
+// the strongest equivalence we can assert, and the one CI's TSan job runs
+// to certify the barrier protocol.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "fault/fault_plan.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using nfv::core::PlatformConfig;
+using nfv::core::SchedPolicy;
+using nfv::core::Simulation;
+
+struct RunArtifacts {
+  std::string report;
+  std::string trace;
+};
+
+/// Run `build` at each shard count and require byte-identical artifacts.
+void expect_identical(
+    const std::function<RunArtifacts(std::uint32_t)>& run_at,
+    std::vector<std::uint32_t> shard_counts) {
+  ASSERT_GE(shard_counts.size(), 2u);
+  const RunArtifacts base = run_at(shard_counts.front());
+  ASSERT_FALSE(base.report.empty());
+  for (std::size_t i = 1; i < shard_counts.size(); ++i) {
+    const RunArtifacts other = run_at(shard_counts[i]);
+    const auto diverge = [](const std::string& a, const std::string& b) {
+      std::size_t p = 0;
+      while (p < a.size() && p < b.size() && a[p] == b[p]) ++p;
+      return p;
+    };
+    ASSERT_EQ(base.report == other.report, true)
+        << "report diverges at shards=" << shard_counts[i] << " byte "
+        << diverge(base.report, other.report) << ": ..."
+        << base.report.substr(
+               diverge(base.report, other.report) < 40
+                   ? 0
+                   : diverge(base.report, other.report) - 40,
+               80)
+        << "... vs ..."
+        << other.report.substr(
+               diverge(base.report, other.report) < 40
+                   ? 0
+                   : diverge(base.report, other.report) - 40,
+               80);
+    ASSERT_EQ(base.trace == other.trace, true)
+        << "trace diverges at shards=" << shard_counts[i] << " byte "
+        << diverge(base.trace, other.trace);
+  }
+}
+
+RunArtifacts finish(Simulation& sim, nfv::obs::TraceRecorder& rec) {
+  RunArtifacts out;
+  out.report = sim.report_json();
+  std::ostringstream tr;
+  rec.write_chrome_json(tr);
+  out.trace = tr.str();
+  return out;
+}
+
+// Fig. 7 grid point: one core, the paper's 120/270/550 chain under
+// overload. A single lane, so every worker count degenerates to one worker
+// — the contract still demands byte-identity.
+TEST(ShardDeterminism, Fig07GridPoint) {
+  expect_identical(
+      [](std::uint32_t shards) {
+        PlatformConfig cfg;
+        cfg.sim_shards = shards;
+        Simulation sim(cfg);
+        const auto core = sim.add_core(SchedPolicy::kCfsBatch);
+        const auto a = sim.add_nf("low", core, nfv::nf::CostModel::fixed(120));
+        const auto b = sim.add_nf("med", core, nfv::nf::CostModel::fixed(270));
+        const auto c = sim.add_nf("high", core, nfv::nf::CostModel::fixed(550));
+        const auto chain = sim.add_chain("c", {a, b, c});
+        sim.add_udp_flow(chain, 6e6);
+        nfv::obs::TraceRecorder rec;
+        sim.attach_trace(rec);
+        sim.run_for_seconds(0.03);
+        return finish(sim, rec);
+      },
+      {1, 2, 4});
+}
+
+// Tab. 3 grid point: overloaded chain on the round-robin scheduler, where
+// drop accounting (entry discards vs ring-full) must line up exactly.
+TEST(ShardDeterminism, Tab03DropRatePoint) {
+  expect_identical(
+      [](std::uint32_t shards) {
+        PlatformConfig cfg;
+        cfg.sim_shards = shards;
+        Simulation sim(cfg);
+        const auto core = sim.add_core(SchedPolicy::kRoundRobin, 1.0);
+        const auto a = sim.add_nf("a", core, nfv::nf::CostModel::fixed(550));
+        const auto b = sim.add_nf("b", core, nfv::nf::CostModel::fixed(270));
+        const auto chain = sim.add_chain("c", {a, b});
+        sim.add_udp_flow(chain, 8e6);
+        nfv::obs::TraceRecorder rec;
+        sim.attach_trace(rec);
+        sim.run_for_seconds(0.03);
+        return finish(sim, rec);
+      },
+      {1, 2});
+}
+
+// Four lanes with chains crossing every lane boundary plus TCP: the full
+// mailbox path (packets, ECN marks, backpressure state, TCP acks) under
+// every worker count the CI matrix runs.
+TEST(ShardDeterminism, MultiCoreCrossLaneChains) {
+  expect_identical(
+      [](std::uint32_t shards) {
+        PlatformConfig cfg;
+        cfg.sim_shards = shards;
+        Simulation sim(cfg);
+        std::vector<std::size_t> cores;
+        std::vector<nfv::flow::NfId> nfs;
+        for (int i = 0; i < 4; ++i) {
+          cores.push_back(sim.add_core(SchedPolicy::kCfsBatch));
+          nfs.push_back(sim.add_nf("nf" + std::to_string(i), cores[i],
+                                   nfv::nf::CostModel::fixed(200 + 60 * i)));
+        }
+        const auto ring =
+            sim.add_chain("ring", {nfs[0], nfs[1], nfs[2], nfs[3]});
+        const auto pair = sim.add_chain("pair", {nfs[3], nfs[0]});
+        sim.add_udp_flow(ring, 2.5e6);
+        sim.add_udp_flow(pair, 2e6);
+        sim.add_tcp_flow(ring);
+        nfv::obs::TraceRecorder rec;
+        sim.attach_trace(rec);
+        sim.run_for_seconds(0.02);
+        sim.run_for_seconds(0.01);  // multi-call: resume must not reset state
+        return finish(sim, rec);
+      },
+      {1, 2, 4, 8});
+}
+
+// Churn: flows install/retire continuously, exercising the flow table and
+// expiry sweeps that live on each chain's home lane.
+TEST(ShardDeterminism, ChurnWorkload) {
+  expect_identical(
+      [](std::uint32_t shards) {
+        PlatformConfig cfg;
+        cfg.sim_shards = shards;
+        cfg.flow_table.idle_timeout = 26'000'000;
+        Simulation sim(cfg);
+        const auto c0 = sim.add_core(SchedPolicy::kCfsBatch);
+        const auto c1 = sim.add_core(SchedPolicy::kCfsBatch);
+        const auto a = sim.add_nf("a", c0, nfv::nf::CostModel::fixed(200));
+        const auto b = sim.add_nf("b", c1, nfv::nf::CostModel::fixed(400));
+        const auto chain = sim.add_chain("churny", {a, b});
+        sim.add_churn_workload(chain, 1.5e6);
+        nfv::obs::TraceRecorder rec;
+        sim.attach_trace(rec);
+        sim.run_for_seconds(0.04);
+        return finish(sim, rec);
+      },
+      {1, 2, 4});
+}
+
+// Faulted run: a crash (with restart) on one lane and a degrade on another.
+// NF death must propagate across lanes as messages without perturbing any
+// lane-local ordering.
+TEST(ShardDeterminism, CrashAndDegradeFaultPlan) {
+  expect_identical(
+      [](std::uint32_t shards) {
+        PlatformConfig cfg;
+        cfg.sim_shards = shards;
+        Simulation sim(cfg);
+        const auto c0 = sim.add_core(SchedPolicy::kCfsBatch);
+        const auto c1 = sim.add_core(SchedPolicy::kCfsBatch);
+        const auto c2 = sim.add_core(SchedPolicy::kRoundRobin, 1.0);
+        const auto a = sim.add_nf("a", c0, nfv::nf::CostModel::fixed(200));
+        const auto b = sim.add_nf("b", c1, nfv::nf::CostModel::fixed(400));
+        const auto c = sim.add_nf("c", c2, nfv::nf::CostModel::fixed(300));
+        const auto chain = sim.add_chain("long", {a, b, c});
+        const auto tail = sim.add_chain("tail", {b, c});
+        sim.add_udp_flow(chain, 1.5e6);
+        sim.add_udp_flow(tail, 1e6);
+        nfv::fault::FaultPlan plan;
+        plan.add_crash(b, 26'000'000,
+                       sim.clock().from_seconds(0.005));
+        plan.add_degrade(c, 52'000'000, 2.0, 26'000'000);
+        sim.set_fault_plan(std::move(plan));
+        nfv::obs::TraceRecorder rec;
+        sim.attach_trace(rec);
+        sim.run_for_seconds(0.04);
+        return finish(sim, rec);
+      },
+      {1, 2, 4});
+}
+
+// Async I/O plus a device fault: the disk and its fault window live on the
+// I/O NF's lane; lanes without I/O must not see device-fault events at all.
+TEST(ShardDeterminism, DeviceFaultWithAsyncIo) {
+  expect_identical(
+      [](std::uint32_t shards) {
+        PlatformConfig cfg;
+        cfg.sim_shards = shards;
+        Simulation sim(cfg);
+        const auto c0 = sim.add_core(SchedPolicy::kCfsBatch);
+        const auto c1 = sim.add_core(SchedPolicy::kCfsBatch);
+        const auto logger =
+            sim.add_nf("logger", c0, nfv::nf::CostModel::fixed(300));
+        const auto fwd = sim.add_nf("fwd", c1, nfv::nf::CostModel::fixed(150));
+        const auto chain = sim.add_chain("logged", {logger, fwd});
+        nfv::io::AsyncIoEngine::Config io_cfg;
+        io_cfg.mode = nfv::io::AsyncIoEngine::Mode::kDoubleBuffered;
+        io_cfg.buffer_bytes = 64 * 1024;
+        auto& io_engine = sim.attach_io(logger, io_cfg);
+        sim.nf(logger).set_handler([&io_engine](nfv::pktio::Mbuf& pkt) {
+          io_engine.write(pkt.size_bytes);
+          return nfv::nf::NfAction::kForward;
+        });
+        sim.add_udp_flow(chain, 2e6);
+        nfv::fault::FaultPlan plan;
+        plan.add_device_slow(sim.clock().from_seconds(0.01), 4.0,
+                             sim.clock().from_seconds(0.005));
+        sim.set_fault_plan(std::move(plan));
+        nfv::obs::TraceRecorder rec;
+        sim.attach_trace(rec);
+        sim.run_for_seconds(0.03);
+        return finish(sim, rec);
+      },
+      {1, 2});
+}
+
+// Requesting more workers than there are lanes clamps silently; the
+// artifacts still match the one-worker run bit-for-bit.
+TEST(ShardDeterminism, WorkerCountBeyondLanesIsClamped) {
+  expect_identical(
+      [](std::uint32_t shards) {
+        PlatformConfig cfg;
+        cfg.sim_shards = shards;
+        Simulation sim(cfg);
+        const auto c0 = sim.add_core(SchedPolicy::kCfsBatch);
+        const auto c1 = sim.add_core(SchedPolicy::kCfsBatch);
+        const auto a = sim.add_nf("a", c0, nfv::nf::CostModel::fixed(150));
+        const auto b = sim.add_nf("b", c1, nfv::nf::CostModel::fixed(450));
+        const auto chain = sim.add_chain("c", {a, b});
+        sim.add_udp_flow(chain, 3e6);
+        nfv::obs::TraceRecorder rec;
+        sim.attach_trace(rec);
+        sim.run_for_seconds(0.02);
+        return finish(sim, rec);
+      },
+      {1, 16});  // 16 workers, 2 lanes: clamped to 2
+}
+
+}  // namespace

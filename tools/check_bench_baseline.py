@@ -29,6 +29,16 @@ higher-is-better:
                                  goodput under storage faults relative to
                                  the sync baseline's (DESIGN.md §12).
                                  Also deterministic simulation output.
+  shard_events_per_sec           micro_shard: event throughput of the
+                                 sharded engine at sim_shards=4 on a
+                                 4-lane cross-chain topology
+  shard_speedup_4w               micro_shard: wall-clock speedup of
+                                 sim_shards=4 over sim_shards=1. Gated
+                                 against an absolute 3.0x floor, but only
+                                 when the machine reports >= 4 hardware
+                                 threads — on smaller hosts the row prints
+                                 SKIP (the bench still enforces the
+                                 byte-identity contract by exit code).
 
 Regenerate the baseline (e.g. on a hardware change or an accepted perf
 shift) with --update. CI machines are noisy, hence the wide tolerance;
@@ -81,6 +91,26 @@ def run_micro_flowmap(binary: pathlib.Path) -> dict:
     }
 
 
+def run_micro_shard(binary: pathlib.Path) -> dict:
+    # The bench exits non-zero when the shards=1 vs shards=4 reports are
+    # not byte-identical, so check=True doubles as the determinism gate.
+    out = subprocess.run([str(binary), "--json"], check=True,
+                         capture_output=True, text=True).stdout
+    data = json.loads(out)
+    return {
+        "shard_speedup_4w": float(data["shard_speedup_4w"]),
+        "shard_events_per_sec": float(data["shard_events_per_sec"]),
+        "host_cores": int(data["host_cores"]),
+    }
+
+
+# Parallel speedup cannot materialize without cores to run on: the
+# shard_speedup_4w gate is absolute (3x at 4 workers) and applies only on
+# hosts with at least this many hardware threads.
+SHARD_SPEEDUP_FLOOR = 3.0
+SHARD_SPEEDUP_MIN_CORES = 4
+
+
 def run_micro_substrate(binary: pathlib.Path, repetitions: int) -> float:
     out = subprocess.run(
         [
@@ -126,6 +156,9 @@ def main() -> int:
             run_fig_io_fault(bench_dir / "fig_io_fault"),
     }
     current.update(run_micro_flowmap(bench_dir / "micro_flowmap"))
+    shard = run_micro_shard(bench_dir / "micro_shard")
+    host_cores = shard.pop("host_cores")
+    current.update(shard)
 
     if args.update:
         args.baseline.write_text(
@@ -138,8 +171,21 @@ def main() -> int:
     baseline = json.loads(args.baseline.read_text())["metrics"]
     failed = False
     for name, base in sorted(baseline.items()):
+        if name not in current:
+            print(f"{'SKIP':>10}  {name}: no longer produced by the benches "
+                  "(baseline entry is stale; regenerate with --update)")
+            continue
         now = current[name]
-        floor = base * (1.0 - args.tolerance)
+        if name == "shard_speedup_4w":
+            # Absolute gate, host-core aware: see the docstring.
+            if host_cores < SHARD_SPEEDUP_MIN_CORES:
+                print(f"{'SKIP':>10}  {name}: {now:.4g} "
+                      f"(host has {host_cores} hardware threads, "
+                      f"gate needs >= {SHARD_SPEEDUP_MIN_CORES})")
+                continue
+            floor = SHARD_SPEEDUP_FLOOR * (1.0 - args.tolerance)
+        else:
+            floor = base * (1.0 - args.tolerance)
         verdict = "OK" if now >= floor else "REGRESSION"
         failed |= now < floor
         print(f"{verdict:>10}  {name}: {now:.4g} "
