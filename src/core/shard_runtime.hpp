@@ -45,7 +45,8 @@ namespace nfv::core {
 struct Lane {
   Lane(std::uint32_t lane_id, const mgr::ManagerConfig& mgr_cfg,
        const flow::FlowTable::Config& flow_cfg, std::uint32_t mempool_capacity,
-       flow::ChainRegistry& chains, mgr::ShardLink& link, Cycles latency);
+       flow::ChainRegistry& chains, mgr::ShardLink& link, Cycles latency,
+       sim::EngineBackend backend, std::size_t pending_hint);
 
   std::uint32_t id;
   sim::EventLane ev;
@@ -75,11 +76,23 @@ class ShardRuntime final : public mgr::ShardLink {
   ShardRuntime(std::uint32_t shards, Cycles latency,
                const mgr::ManagerConfig& mgr_cfg,
                const flow::FlowTable::Config& flow_cfg,
-               std::uint32_t mempool_capacity, flow::ChainRegistry& chains);
+               std::uint32_t mempool_capacity, flow::ChainRegistry& chains,
+               sim::EngineBackend backend = sim::EngineBackend::kHeap,
+               std::size_t pending_hint = 0);
   ~ShardRuntime() override;
 
   /// Create the next lane (index = current count). Topology-build time only.
   Lane& add_lane();
+
+  /// Ready-queue backend for lanes (existing lanes are switched too; only
+  /// legal before anything is scheduled on them). Lane event *content* is
+  /// backend-independent — this is purely a performance knob.
+  void set_engine_backend(sim::EngineBackend backend);
+  [[nodiscard]] sim::EngineBackend engine_backend() const { return backend_; }
+
+  /// Pending-events pre-size hint applied to every lane engine, existing
+  /// and future (see PlatformConfig::pending_events_hint).
+  void set_pending_hint(std::size_t hint);
 
   [[nodiscard]] Lane& lane(std::size_t i) { return *lanes_[i]; }
   [[nodiscard]] std::size_t size() const { return lanes_.size(); }
@@ -118,6 +131,8 @@ class ShardRuntime final : public mgr::ShardLink {
 
   std::uint32_t shards_;
   Cycles latency_;
+  sim::EngineBackend backend_;
+  std::size_t pending_hint_;
   // Copies of the platform knobs, so lanes added later see the same config
   // the legacy constructor would have captured.
   mgr::ManagerConfig mgr_cfg_;

@@ -74,15 +74,29 @@ Simulation::Simulation(PlatformConfig config)
       if (v > 0) config_.sim_shards = static_cast<std::uint32_t>(v);
     }
   }
+  // Ready-queue backend opt-in (DESIGN.md §15): same contract as the shards
+  // knob — an explicit config wins, otherwise NFV_ENGINE_BACKEND applies.
+  // Either way the event *order* is identical; this only picks the queue's
+  // data structure.
+  if (config_.engine_backend == sim::EngineBackend::kHeap) {
+    sim::EngineBackend env_backend;
+    if (sim::parse_engine_backend(std::getenv("NFV_ENGINE_BACKEND"),
+                                  env_backend)) {
+      config_.engine_backend = env_backend;
+    }
+  }
   if (config_.sim_shards > 0) {
     // Every lane builds its own pool/manager/flow table as cores are added;
     // the legacy singletons (and their root-registry probes) stay unbuilt
     // so the legacy path remains byte-exact.
     shard_ = std::make_unique<ShardRuntime>(
         config_.sim_shards, config_.cross_lane_latency, config_.manager,
-        config_.flow_table, config_.mempool_capacity, chains_);
+        config_.flow_table, config_.mempool_capacity, chains_,
+        config_.engine_backend, config_.pending_events_hint);
     return;
   }
+  engine_.set_backend(config_.engine_backend);
+  engine_.reserve(config_.pending_events_hint);
   pool_ = std::make_unique<pktio::MbufPool>(config_.mempool_capacity);
   manager_ = std::make_unique<mgr::Manager>(engine_, *pool_, flows_, chains_,
                                             config_.manager, &obs_);
@@ -108,6 +122,26 @@ Simulation::Simulation(PlatformConfig config)
 }
 
 Simulation::~Simulation() = default;
+
+void Simulation::set_engine_backend(sim::EngineBackend backend) {
+  assert(!started_ && "the backend is frozen once the simulation has run");
+  config_.engine_backend = backend;
+  if (shard_) {
+    shard_->set_engine_backend(backend);
+  } else {
+    engine_.set_backend(backend);
+    engine_.reserve(config_.pending_events_hint);
+  }
+}
+
+void Simulation::reserve_pending_events(std::size_t hint) {
+  config_.pending_events_hint = hint;
+  if (shard_) {
+    shard_->set_pending_hint(hint);
+  } else {
+    engine_.reserve(hint);
+  }
+}
 
 std::size_t Simulation::add_core(SchedPolicy policy, double rr_quantum_ms,
                                  int numa_node) {

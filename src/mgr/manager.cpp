@@ -208,6 +208,18 @@ void Manager::start() {
   assert(!started_);
   started_ = true;
   chain_counters_.assign(std::max<std::size_t>(chains_.size(), 1), {});
+  // Pre-size the per-chain/per-flow bookkeeping and freeze the chain-head
+  // cache now, so the per-packet paths below never grow a vector or walk
+  // the chain registry mid-burst (the lazy resizes remain only as a safety
+  // net for out-of-registry ids).
+  chain_latency_.resize(chain_counters_.size());
+  flow_counters_.reserve(flows_.size() + 64);
+  chain_heads_.resize(chains_.size());
+  for (flow::ChainId id = 0; id < chains_.size(); ++id) {
+    const auto& hops = chains_.get(id).hops;
+    chain_heads_[id] =
+        hops.empty() ? static_cast<flow::NfId>(-1) : hops.front();
+  }
   bp_ = std::make_unique<bp::BackpressureManager>(chains_, records_.size(),
                                                   config_.backpressure);
   ecn_ = std::make_unique<bp::EcnMarker>(records_.size(), config_.ecn);
@@ -296,7 +308,7 @@ void Manager::ingress(pktio::Mbuf* pkt, const pktio::FlowKey& key,
   // the system, before any CPU is spent on them (Fig. 5). The chain head
   // still counts the packet as offered load for rate estimation.
   if (config_.enable_backpressure && bp_->chain_throttled(pkt->chain_id)) {
-    ++records_[chains_.get(pkt->chain_id).hops.front()].counters.offered;
+    ++records_[chain_head(pkt->chain_id)].counters.offered;
     ++cc.entry_throttle_drops;
     if (auto* tr = obs::trace_of(obs_)) {
       tr->instant(arrival, obs::kManagerLane, "mgr", "drop",
@@ -345,7 +357,7 @@ void Manager::enqueue_to_nf(flow::NfId nf_id, pktio::Mbuf* pkt, Cycles when) {
       // Per-flow accounting lives on the flow's home lane (the lane of the
       // chain's first hop, which owns the flow-table entry and so the
       // meaning of pkt->flow_id). Mid-chain lanes route the count home.
-      const flow::NfId head = chains_.get(pkt->chain_id).hops.front();
+      const flow::NfId head = chain_head(pkt->chain_id);
       if (records_[head].task != nullptr) {
         if (pkt->flow_id >= fc.size()) fc.resize(pkt->flow_id + 1);
         ++fc[pkt->flow_id].ecn_marked;
@@ -461,7 +473,7 @@ void Manager::egress(pktio::Mbuf* pkt) {
   // Per-flow counters and the egress sink live on the flow's home lane;
   // when the chain's last hop is elsewhere, route the event home (the
   // packet travels by value so e.g. a TCP sink still sees its fields).
-  const flow::NfId head = chains_.get(pkt->chain_id).hops.front();
+  const flow::NfId head = chain_head(pkt->chain_id);
   if (records_[head].task == nullptr) {
     ShardMsg msg;
     msg.kind = ShardMsg::Kind::kFlowEgress;

@@ -310,6 +310,14 @@ class Manager : public fault::FaultSink {
   };
 
   void enqueue_to_nf(flow::NfId nf_id, pktio::Mbuf* pkt, Cycles when);
+  /// First hop of `chain`, from the start()-built cache. The registry walk
+  /// (`chains_.get(id).hops.front()`: bounds-checked at(), two pointer
+  /// chases) used to run once per throttled-ingress packet, per ECN mark
+  /// and per egress; the flat array is one load.
+  [[nodiscard]] flow::NfId chain_head(flow::ChainId chain) const {
+    return chain < chain_heads_.size() ? chain_heads_[chain]
+                                       : chains_.get(chain).hops.front();
+  }
   /// Grow records_ to cover `id` (sparse global-id registration).
   void ensure_record(flow::NfId id);
   /// Stamp msg.when = now + shard latency and post to `dst`'s mailbox.
@@ -357,6 +365,10 @@ class Manager : public fault::FaultSink {
   std::vector<ChainLatency> chain_latency_;
   std::vector<FlowCounters> flow_counters_;
   std::vector<EgressSink> egress_sinks_;
+  /// chain id -> first hop, frozen at start(). Hot paths that only need the
+  /// chain head (entry-throttle accounting, ECN/egress flow-home routing)
+  /// read this instead of walking the registry per packet.
+  std::vector<flow::NfId> chain_heads_;
 
   std::unique_ptr<bp::BackpressureManager> bp_;
   std::unique_ptr<bp::EcnMarker> ecn_;

@@ -28,7 +28,9 @@ namespace nfv::sim {
 
 class EventLane {
  public:
-  explicit EventLane(std::uint32_t id) : id_(id) {}
+  explicit EventLane(std::uint32_t id,
+                     EngineBackend backend = EngineBackend::kHeap)
+      : id_(id), engine_(backend) {}
 
   EventLane(const EventLane&) = delete;
   EventLane& operator=(const EventLane&) = delete;

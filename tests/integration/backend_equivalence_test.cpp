@@ -1,0 +1,253 @@
+// Ready-queue backend equivalence contract (DESIGN.md §15): for a fixed
+// topology, report_json() and the Chrome trace are byte-identical whether
+// the engine runs on the binary-heap or the hierarchical timer-wheel
+// backend. Each test builds the same simulation under both backends (and,
+// where marked, under sharding too) and compares the serialized artifacts
+// byte-for-byte — the same strongest-form equivalence the shard determinism
+// suite asserts, now across PlatformConfig::engine_backend.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "fault/fault_plan.hpp"
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using nfv::core::PlatformConfig;
+using nfv::core::SchedPolicy;
+using nfv::core::Simulation;
+using nfv::sim::EngineBackend;
+
+struct RunArtifacts {
+  std::string report;
+  std::string trace;
+};
+
+/// Run `run_at` under each backend and require byte-identical artifacts.
+/// Clears NFV_ENGINE_BACKEND first: the CI matrix exports it to steer the
+/// *other* suites, but here each run pins its backend explicitly and an
+/// inherited env override would collapse the comparison to wheel-vs-wheel.
+void expect_identical(
+    const std::function<RunArtifacts(EngineBackend)>& run_at) {
+  ::unsetenv("NFV_ENGINE_BACKEND");
+  const RunArtifacts heap = run_at(EngineBackend::kHeap);
+  const RunArtifacts wheel = run_at(EngineBackend::kWheel);
+  ASSERT_FALSE(heap.report.empty());
+  const auto diverge = [](const std::string& a, const std::string& b) {
+    std::size_t p = 0;
+    while (p < a.size() && p < b.size() && a[p] == b[p]) ++p;
+    return p;
+  };
+  const std::size_t rp = diverge(heap.report, wheel.report);
+  ASSERT_EQ(heap.report == wheel.report, true)
+      << "report diverges at byte " << rp << ": ..."
+      << heap.report.substr(rp < 40 ? 0 : rp - 40, 80) << "... vs ..."
+      << wheel.report.substr(rp < 40 ? 0 : rp - 40, 80);
+  ASSERT_EQ(heap.trace == wheel.trace, true)
+      << "trace diverges at byte " << diverge(heap.trace, wheel.trace);
+}
+
+RunArtifacts finish(Simulation& sim, nfv::obs::TraceRecorder& rec) {
+  RunArtifacts out;
+  out.report = sim.report_json();
+  std::ostringstream tr;
+  rec.write_chrome_json(tr);
+  out.trace = tr.str();
+  return out;
+}
+
+// Fig. 7 grid point: one core, the paper's 120/270/550 chain under overload.
+TEST(BackendEquivalence, Fig07GridPoint) {
+  expect_identical([](EngineBackend backend) {
+    PlatformConfig cfg;
+    cfg.engine_backend = backend;
+    Simulation sim(cfg);
+    const auto core = sim.add_core(SchedPolicy::kCfsBatch);
+    const auto a = sim.add_nf("low", core, nfv::nf::CostModel::fixed(120));
+    const auto b = sim.add_nf("med", core, nfv::nf::CostModel::fixed(270));
+    const auto c = sim.add_nf("high", core, nfv::nf::CostModel::fixed(550));
+    const auto chain = sim.add_chain("c", {a, b, c});
+    sim.add_udp_flow(chain, 6e6);
+    nfv::obs::TraceRecorder rec;
+    sim.attach_trace(rec);
+    sim.run_for_seconds(0.03);
+    return finish(sim, rec);
+  });
+}
+
+// Tab. 3 grid point: overloaded chain on the round-robin scheduler, where
+// drop accounting (entry discards vs ring-full) must line up exactly.
+TEST(BackendEquivalence, Tab03DropRatePoint) {
+  expect_identical([](EngineBackend backend) {
+    PlatformConfig cfg;
+    cfg.engine_backend = backend;
+    Simulation sim(cfg);
+    const auto core = sim.add_core(SchedPolicy::kRoundRobin, 1.0);
+    const auto a = sim.add_nf("a", core, nfv::nf::CostModel::fixed(550));
+    const auto b = sim.add_nf("b", core, nfv::nf::CostModel::fixed(270));
+    const auto chain = sim.add_chain("c", {a, b});
+    sim.add_udp_flow(chain, 8e6);
+    nfv::obs::TraceRecorder rec;
+    sim.attach_trace(rec);
+    sim.run_for_seconds(0.03);
+    return finish(sim, rec);
+  });
+}
+
+// Churn: flows install/retire continuously; the flow table's expiry sweep
+// rides on cancellable timers — the wheel's eager unlink path under load.
+TEST(BackendEquivalence, ChurnWorkload) {
+  expect_identical([](EngineBackend backend) {
+    PlatformConfig cfg;
+    cfg.engine_backend = backend;
+    cfg.flow_table.idle_timeout = 26'000'000;
+    Simulation sim(cfg);
+    const auto c0 = sim.add_core(SchedPolicy::kCfsBatch);
+    const auto c1 = sim.add_core(SchedPolicy::kCfsBatch);
+    const auto a = sim.add_nf("a", c0, nfv::nf::CostModel::fixed(200));
+    const auto b = sim.add_nf("b", c1, nfv::nf::CostModel::fixed(400));
+    const auto chain = sim.add_chain("churny", {a, b});
+    sim.add_churn_workload(chain, 1.5e6);
+    nfv::obs::TraceRecorder rec;
+    sim.attach_trace(rec);
+    sim.run_for_seconds(0.04);
+    return finish(sim, rec);
+  });
+}
+
+// Faulted run: crash + restart on one core, degrade window on another. The
+// watchdog/restart timers land far from now — deep wheel levels that must
+// cascade back down on exactly the heap's schedule.
+TEST(BackendEquivalence, CrashAndDegradeFaultPlan) {
+  expect_identical([](EngineBackend backend) {
+    PlatformConfig cfg;
+    cfg.engine_backend = backend;
+    Simulation sim(cfg);
+    const auto c0 = sim.add_core(SchedPolicy::kCfsBatch);
+    const auto c1 = sim.add_core(SchedPolicy::kCfsBatch);
+    const auto c2 = sim.add_core(SchedPolicy::kRoundRobin, 1.0);
+    const auto a = sim.add_nf("a", c0, nfv::nf::CostModel::fixed(200));
+    const auto b = sim.add_nf("b", c1, nfv::nf::CostModel::fixed(400));
+    const auto c = sim.add_nf("c", c2, nfv::nf::CostModel::fixed(300));
+    const auto chain = sim.add_chain("long", {a, b, c});
+    const auto tail = sim.add_chain("tail", {b, c});
+    sim.add_udp_flow(chain, 1.5e6);
+    sim.add_udp_flow(tail, 1e6);
+    nfv::fault::FaultPlan plan;
+    plan.add_crash(b, 26'000'000, sim.clock().from_seconds(0.005));
+    plan.add_degrade(c, 52'000'000, 2.0, 26'000'000);
+    sim.set_fault_plan(std::move(plan));
+    nfv::obs::TraceRecorder rec;
+    sim.attach_trace(rec);
+    sim.run_for_seconds(0.04);
+    return finish(sim, rec);
+  });
+}
+
+// Async I/O plus a device fault: completion timers and the fault window
+// interleave with the packet path.
+TEST(BackendEquivalence, DeviceFaultWithAsyncIo) {
+  expect_identical([](EngineBackend backend) {
+    PlatformConfig cfg;
+    cfg.engine_backend = backend;
+    Simulation sim(cfg);
+    const auto c0 = sim.add_core(SchedPolicy::kCfsBatch);
+    const auto c1 = sim.add_core(SchedPolicy::kCfsBatch);
+    const auto logger = sim.add_nf("logger", c0, nfv::nf::CostModel::fixed(300));
+    const auto fwd = sim.add_nf("fwd", c1, nfv::nf::CostModel::fixed(150));
+    const auto chain = sim.add_chain("logged", {logger, fwd});
+    nfv::io::AsyncIoEngine::Config io_cfg;
+    io_cfg.mode = nfv::io::AsyncIoEngine::Mode::kDoubleBuffered;
+    io_cfg.buffer_bytes = 64 * 1024;
+    auto& io_engine = sim.attach_io(logger, io_cfg);
+    sim.nf(logger).set_handler([&io_engine](nfv::pktio::Mbuf& pkt) {
+      io_engine.write(pkt.size_bytes);
+      return nfv::nf::NfAction::kForward;
+    });
+    sim.add_udp_flow(chain, 2e6);
+    nfv::fault::FaultPlan plan;
+    plan.add_device_slow(sim.clock().from_seconds(0.01), 4.0,
+                         sim.clock().from_seconds(0.005));
+    sim.set_fault_plan(std::move(plan));
+    nfv::obs::TraceRecorder rec;
+    sim.attach_trace(rec);
+    sim.run_for_seconds(0.03);
+    return finish(sim, rec);
+  });
+}
+
+// Sharded × backend: four cross-lane chains at sim_shards ∈ {1, 4}. All
+// four (backend, shards) artifact sets must agree — the wheel rides inside
+// every EventLane, so per-lane order must match the heap's exactly.
+TEST(BackendEquivalence, ShardedCrossLaneChains) {
+  ::unsetenv("NFV_ENGINE_BACKEND");
+  const auto run_at = [](EngineBackend backend, std::uint32_t shards) {
+    PlatformConfig cfg;
+    cfg.engine_backend = backend;
+    cfg.sim_shards = shards;
+    Simulation sim(cfg);
+    std::vector<std::size_t> cores;
+    std::vector<nfv::flow::NfId> nfs;
+    for (int i = 0; i < 4; ++i) {
+      cores.push_back(sim.add_core(SchedPolicy::kCfsBatch));
+      nfs.push_back(sim.add_nf("nf" + std::to_string(i), cores[i],
+                               nfv::nf::CostModel::fixed(200 + 60 * i)));
+    }
+    const auto ring = sim.add_chain("ring", {nfs[0], nfs[1], nfs[2], nfs[3]});
+    const auto pair = sim.add_chain("pair", {nfs[3], nfs[0]});
+    sim.add_udp_flow(ring, 2.5e6);
+    sim.add_udp_flow(pair, 2e6);
+    sim.add_tcp_flow(ring);
+    nfv::obs::TraceRecorder rec;
+    sim.attach_trace(rec);
+    sim.run_for_seconds(0.02);
+    sim.run_for_seconds(0.01);  // multi-call: resume must not reset state
+    return finish(sim, rec);
+  };
+  const RunArtifacts base = run_at(EngineBackend::kHeap, 1);
+  ASSERT_FALSE(base.report.empty());
+  for (const EngineBackend backend :
+       {EngineBackend::kHeap, EngineBackend::kWheel}) {
+    for (const std::uint32_t shards : {1u, 4u}) {
+      const RunArtifacts other = run_at(backend, shards);
+      ASSERT_EQ(base.report == other.report, true)
+          << "report diverges: backend=" << nfv::sim::to_string(backend)
+          << " shards=" << shards;
+      ASSERT_EQ(base.trace == other.trace, true)
+          << "trace diverges: backend=" << nfv::sim::to_string(backend)
+          << " shards=" << shards;
+    }
+  }
+}
+
+// The env knob opts a default-config Simulation into the wheel; an explicit
+// PlatformConfig::engine_backend is never overridden by it.
+TEST(BackendEquivalence, EnvVarSelectsBackend) {
+  ::setenv("NFV_ENGINE_BACKEND", "wheel", 1);
+  {
+    Simulation sim;
+    EXPECT_EQ(sim.engine_backend(), EngineBackend::kWheel);
+  }
+  ::unsetenv("NFV_ENGINE_BACKEND");
+  {
+    Simulation sim;
+    EXPECT_EQ(sim.engine_backend(), EngineBackend::kHeap);
+  }
+  {
+    PlatformConfig cfg;
+    cfg.engine_backend = EngineBackend::kWheel;
+    Simulation sim(cfg);
+    EXPECT_EQ(sim.engine_backend(), EngineBackend::kWheel);
+  }
+}
+
+}  // namespace

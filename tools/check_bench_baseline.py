@@ -7,6 +7,13 @@ regresses by more than the tolerance (default 20%). All metrics are
 higher-is-better:
 
   engine_events_per_sec          micro_engine's aggregate event throughput
+                                 (heap backend, the default)
+  engine_timer_events_per_sec    micro_engine's million-timer scenario (1M
+                                 pending, schedule/cancel churn) on the
+                                 timer-wheel backend (DESIGN.md §15)
+  engine_timer_wheel_speedup     wheel vs heap on that same scenario.
+                                 Gated against an absolute 3.0x floor — a
+                                 ratio, so host speed cancels out
   flowmap_batch_lookups_per_sec  micro_flowmap: batched FlowMap hit
                                  lookups/sec at one million flows
   flowmap_lookup_speedup_vs_unordered
@@ -59,10 +66,16 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_baseline.json"
 
 
-def run_micro_engine(binary: pathlib.Path) -> float:
+def run_micro_engine(binary: pathlib.Path) -> dict:
     out = subprocess.run([str(binary), "--json"], check=True,
                          capture_output=True, text=True).stdout
-    return float(json.loads(out)["events_per_sec"])
+    data = json.loads(out)
+    return {
+        "engine_events_per_sec": float(data["events_per_sec"]),
+        "engine_timer_events_per_sec":
+            float(data["timer_events_per_sec_wheel"]),
+        "engine_timer_wheel_speedup": float(data["timer_wheel_speedup"]),
+    }
 
 
 def run_fig_availability(binary: pathlib.Path) -> float:
@@ -110,6 +123,11 @@ def run_micro_shard(binary: pathlib.Path) -> dict:
 SHARD_SPEEDUP_FLOOR = 3.0
 SHARD_SPEEDUP_MIN_CORES = 4
 
+# The timer wheel's reason to exist (DESIGN.md §15): the million-timer
+# scenario must run at least this many times faster than the heap. A
+# single-threaded ratio, so no core-count gate.
+TIMER_WHEEL_SPEEDUP_FLOOR = 3.0
+
 
 def run_micro_substrate(binary: pathlib.Path, repetitions: int) -> float:
     out = subprocess.run(
@@ -145,8 +163,6 @@ def main() -> int:
 
     bench_dir = args.build_dir / "bench"
     current = {
-        "engine_events_per_sec":
-            run_micro_engine(bench_dir / "micro_engine"),
         "substrate_sim_ms_per_wall_ms":
             run_micro_substrate(bench_dir / "micro_substrate",
                                 args.repetitions),
@@ -155,6 +171,7 @@ def main() -> int:
         "io_fault_goodput_ratio":
             run_fig_io_fault(bench_dir / "fig_io_fault"),
     }
+    current.update(run_micro_engine(bench_dir / "micro_engine"))
     current.update(run_micro_flowmap(bench_dir / "micro_flowmap"))
     shard = run_micro_shard(bench_dir / "micro_shard")
     host_cores = shard.pop("host_cores")
@@ -184,6 +201,10 @@ def main() -> int:
                       f"gate needs >= {SHARD_SPEEDUP_MIN_CORES})")
                 continue
             floor = SHARD_SPEEDUP_FLOOR * (1.0 - args.tolerance)
+        elif name == "engine_timer_wheel_speedup":
+            # Absolute gate: the wheel must beat the heap by the floor
+            # regardless of what ratio the baseline happened to record.
+            floor = TIMER_WHEEL_SPEEDUP_FLOOR * (1.0 - args.tolerance)
         else:
             floor = base * (1.0 - args.tolerance)
         verdict = "OK" if now >= floor else "REGRESSION"
