@@ -80,11 +80,34 @@ inline void parse_shards(int argc, char** argv) {
   }
 }
 
+/// True when --slo was passed: benches that honour it run with the SLO
+/// feedback controller enabled (DESIGN.md §16) on top of the mode's
+/// cgroup path. Telemetry for targeted chains is on either way; this flag
+/// only turns the share-boost loop on.
+inline bool& cli_slo() {
+  static bool slo = false;
+  return slo;
+}
+
+/// Parse `--slo` (alongside --shards / --json in the shared flag set).
+inline void parse_slo(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--slo") cli_slo() = true;
+  }
+}
+
+/// One-stop parsing of the shared bench flags (--shards, --slo).
+inline void parse_cli(int argc, char** argv) {
+  parse_shards(argc, argv);
+  parse_slo(argc, argv);
+}
+
 inline PlatformConfig make_config(const Mode& mode) {
   PlatformConfig cfg;
   cfg.manager.enable_cgroups = mode.cgroups;
   cfg.manager.enable_backpressure = mode.backpressure;
   cfg.manager.enable_ecn = mode.ecn;
+  cfg.manager.slo.enabled = cli_slo();
   cfg.sim_shards = cli_shards();
   return cfg;
 }

@@ -471,6 +471,34 @@ Topology load(std::istream& in, core::Simulation& sim) {
         throw ConfigError(line_no, "unknown dead-NF policy '" + policy + "'");
       }
 
+    } else if (verb == "slo") {
+      // slo <chain> target_us=<v> — give the chain a p99 tail-latency
+      // target (DESIGN.md §16). target_us=0 removes it.
+      if (tokens.size() != 3) {
+        throw ConfigError(line_no, "slo takes a chain and target_us=<v>");
+      }
+      const auto it = topo.chains.find(tokens[1]);
+      if (it == topo.chains.end()) {
+        throw ConfigError(line_no, "unknown chain '" + tokens[1] + "'");
+      }
+      const auto eq = tokens[2].find('=');
+      const std::string key =
+          eq == std::string::npos ? tokens[2] : tokens[2].substr(0, eq);
+      if (key != "target_us" || eq == std::string::npos) {
+        throw ConfigError(line_no, "slo needs target_us=<microseconds>");
+      }
+      double target_us = 0.0;
+      try {
+        target_us = std::stod(tokens[2].substr(eq + 1));
+      } catch (const std::exception&) {
+        throw ConfigError(line_no,
+                          "bad slo value '" + tokens[2].substr(eq + 1) + "'");
+      }
+      if (target_us < 0.0) {
+        throw ConfigError(line_no, "slo target_us must be >= 0");
+      }
+      sim.set_chain_slo(it->second, target_us);
+
     } else {
       throw ConfigError(line_no, "unknown directive '" + verb + "'");
     }

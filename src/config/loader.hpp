@@ -18,6 +18,7 @@
 //   fault stall nat0 at=0.2                      # watchdog-killed straggler
 //   fault slow dpi0 at=0.1 factor=3 for=0.2      # 3x service time for 200 ms
 //   on_dead web bypass                           # or: backpressure | buffer
+//   slo web target_us=150                        # tail-latency SLO, §16
 //   io nat0 mode=async buffer=262144 flush_us=500  # §3.4 async-I/O engine
 //   io_timeout nat0 us=100                       # storage fault domain,
 //   io_retry nat0 max=4 backoff_us=10 multiplier=2 jitter=0.1  # DESIGN.md §12

@@ -282,6 +282,53 @@ void Simulation::set_dead_policy(flow::ChainId chain,
   manager_->set_dead_policy(chain, policy);
 }
 
+Simulation::ChainSloReport Simulation::chain_slo_report(
+    flow::ChainId chain) const {
+  ChainSloReport out;
+  std::vector<std::uint64_t> samples;
+  std::uint64_t total = 0;
+  const auto fold = [&](const mgr::Manager& m) {
+    m.chain_tail(chain).append_samples(samples);
+    total += m.chain_tail(chain).total_count();
+    const mgr::ChainSloState& st = m.chain_slo(chain);
+    out.target = std::max(out.target, st.target);
+    out.violation_cycles += st.violation_cycles;
+    out.boost = std::max(out.boost, st.boost);
+  };
+  if (shard_) {
+    for (std::size_t l = 0; l < shard_->size(); ++l) {
+      fold(*shard_->lane(l).manager);
+    }
+  } else {
+    fold(*manager_);
+  }
+  out.tail = obs::LatencyEstimator::snapshot_of(std::move(samples), total);
+  return out;
+}
+
+std::uint64_t Simulation::chain_latency_quantile(flow::ChainId chain,
+                                                 double q) const {
+  if (shard_) {
+    Histogram merged(1ULL << 40, 8);
+    for (std::size_t l = 0; l < shard_->size(); ++l) {
+      merged.merge(shard_->lane(l).manager->chain_latency(chain));
+    }
+    return merged.value_at_quantile(q);
+  }
+  return manager_->chain_latency(chain).value_at_quantile(q);
+}
+
+void Simulation::set_chain_slo(flow::ChainId chain, double target_us) {
+  const auto target = static_cast<Cycles>(clock_.from_micros(target_us));
+  if (shard_) {
+    for (std::size_t l = 0; l < shard_->size(); ++l) {
+      shard_->lane(l).manager->set_slo_target(chain, target);
+    }
+    return;
+  }
+  manager_->set_slo_target(chain, target);
+}
+
 fault::NfLifecycle Simulation::nf_lifecycle(flow::NfId id) const {
   return mgr_of(id).nf_lifecycle(id);
 }
@@ -609,6 +656,7 @@ void Simulation::attach_trace(obs::TraceRecorder& recorder) {
   recorder.set_lane_name(obs::kBackpressureLane, "backpressure");
   recorder.set_lane_name(obs::kLifecycleLane, "lifecycle");
   recorder.set_lane_name(obs::kIoLane, "storage-io");
+  recorder.set_lane_name(obs::kSloLane, "slo-controller");
   if (shard_) {
     // Each lane records into a private buffer (worker threads must not
     // share a recorder); after every run the buffers are merged into the
@@ -751,6 +799,34 @@ void Simulation::report_json(std::ostream& out) const {
     w.field("p99", lat->value_at_quantile(0.99));
     w.field("max", lat->max());
     w.end_object();
+    // Exact tail quantiles from the chain's sliding window (DESIGN.md §16).
+    // Sharded: the window fills on the last hop's lane only; concatenating
+    // the per-lane windows in lane order therefore reproduces the owner's
+    // sample multiset exactly, and quantiles are order-independent, so the
+    // merged snapshot equals a single-lane run's.
+    {
+      const ChainSloReport sr = chain_slo_report(id);
+      w.key("tail_latency_cycles");
+      w.begin_object();
+      w.field("p50", static_cast<std::int64_t>(sr.tail.p50));
+      w.field("p95", static_cast<std::int64_t>(sr.tail.p95));
+      w.field("p99", static_cast<std::int64_t>(sr.tail.p99));
+      w.field("max", static_cast<std::int64_t>(sr.tail.max));
+      w.field("window_samples", static_cast<std::int64_t>(sr.tail.samples));
+      w.field("total_samples",
+              static_cast<std::int64_t>(sr.tail.total_count));
+      w.end_object();
+      if (sr.target > 0) {
+        w.key("slo");
+        w.begin_object();
+        w.field("target_cycles", static_cast<std::int64_t>(sr.target));
+        w.field("p99_over_target", static_cast<double>(sr.tail.p99) /
+                                       static_cast<double>(sr.target));
+        w.field("violation_seconds", clock_.to_seconds(sr.violation_cycles));
+        w.field("boost", sr.boost);
+        w.end_object();
+      }
+    }
     w.end_object();
   }
   w.end_array();

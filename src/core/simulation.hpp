@@ -252,6 +252,37 @@ class Simulation {
   /// simulations apply the policy on every lane (routing decisions happen
   /// wherever the packet is).
   void set_dead_policy(flow::ChainId chain, fault::DeadNfPolicy policy);
+
+  // -- latency SLOs (DESIGN.md §16) -------------------------------------------
+  /// Give `chain` a tail-latency target: its p99 chain-completion latency
+  /// should stay under `target_us` microseconds. Telemetry (the per-chain
+  /// tail estimator and the violation clock) runs for every targeted chain;
+  /// the share-boost controller additionally requires
+  /// PlatformConfig::manager.slo.enabled (and enable_cgroups to act on the
+  /// boosts). 0 removes the target. Sharded simulations apply the target
+  /// on every lane, like set_dead_policy.
+  void set_chain_slo(flow::ChainId chain, double target_us);
+
+  /// Merged per-chain tail/SLO state: the window snapshot (exact nearest-
+  /// rank quantiles), the violation clock, the controller's current boost
+  /// and the configured target. Sharded simulations fold the per-lane
+  /// replicas — the window lives on the last hop's lane, violation time is
+  /// owner-lane-only (summing is exact), boost is the max over lanes.
+  struct ChainSloReport {
+    Cycles target = 0;
+    Cycles violation_cycles = 0;
+    double boost = 1.0;
+    obs::LatencyEstimator::Snapshot tail;
+  };
+  [[nodiscard]] ChainSloReport chain_slo_report(flow::ChainId chain) const;
+
+  /// Whole-run chain-completion latency quantile in cycles, from the
+  /// log-bucketed per-chain histogram (sharded: per-lane histograms
+  /// merged). Complements chain_slo_report().tail, which covers only the
+  /// estimator's sliding window of recent egresses.
+  [[nodiscard]] std::uint64_t chain_latency_quantile(flow::ChainId chain,
+                                                     double q) const;
+
   [[nodiscard]] fault::NfLifecycle nf_lifecycle(flow::NfId id) const;
   [[nodiscard]] const fault::NfLifecycleStats& nf_lifecycle_stats(
       flow::NfId id) const;

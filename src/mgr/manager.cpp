@@ -201,6 +201,16 @@ void Manager::apply_shard_msg(const ShardMsg& msg) {
     case ShardMsg::Kind::kDownstreamDrop:
       ++records_[msg.nf].counters.downstream_drops;
       break;
+    case ShardMsg::Kind::kChainTail: {
+      // p99 mirror from the chain's estimator-owning lane (`nf` carries the
+      // ChainId). Only last_p99 is mirrored: the violation clock advances
+      // on the owning lane alone, and each replica derives its own boost
+      // from the shared p99 sequence at the shared update cadence.
+      const auto chain = static_cast<flow::ChainId>(msg.nf);
+      if (chain >= chain_slo_.size()) chain_slo_.resize(chain + 1);
+      chain_slo_[chain].last_p99 = static_cast<Cycles>(msg.tail_p99);
+      break;
+    }
   }
 }
 
@@ -213,12 +223,31 @@ void Manager::start() {
   // the chain registry mid-burst (the lazy resizes remain only as a safety
   // net for out-of-registry ids).
   chain_latency_.resize(chain_counters_.size());
+  chain_tail_.resize(chain_counters_.size(),
+                     obs::LatencyEstimator(config_.slo.window));
+  if (chain_slo_.size() < chain_counters_.size()) {
+    chain_slo_.resize(chain_counters_.size());
+  }
   flow_counters_.reserve(flows_.size() + 64);
   chain_heads_.resize(chains_.size());
+  chain_tails_hop_.resize(chains_.size());
   for (flow::ChainId id = 0; id < chains_.size(); ++id) {
     const auto& hops = chains_.get(id).hops;
     chain_heads_[id] =
         hops.empty() ? static_cast<flow::NfId>(-1) : hops.front();
+    chain_tails_hop_[id] =
+        hops.empty() ? static_cast<flow::NfId>(-1) : hops.back();
+  }
+  // Blanket SLO (DESIGN.md §16): chains without an explicit target inherit
+  // the config default. Cycles conversion at the manager's own clock rate
+  // happens in the facade; here the default is already in microseconds of
+  // the 2.6 GHz reference clock.
+  if (config_.slo.default_target_us > 0.0) {
+    const auto target = static_cast<Cycles>(
+        config_.slo.default_target_us * kDefaultCpuHz * 1e-6);
+    for (flow::ChainId id = 0; id < chains_.size(); ++id) {
+      if (chain_slo_[id].target == 0) set_slo_target(id, target);
+    }
   }
   bp_ = std::make_unique<bp::BackpressureManager>(chains_, records_.size(),
                                                   config_.backpressure);
@@ -257,6 +286,23 @@ void Manager::start() {
                        [this, id] { return chain_counters(id).egress_bytes; });
       scope.gauge_fn("chain.latency_p99_cycles", [this, id] {
         return static_cast<double>(chain_latency(id).value_at_quantile(0.99));
+      });
+      // Tail-estimator probes (DESIGN.md §16). Sampled at dump time only;
+      // a chain's egress lands on one lane, so every other lane's replica
+      // reports 0 and the merged (summed) gauge equals the owner's value.
+      scope.gauge_fn("chain.tail_p50_cycles", [this, id] {
+        return static_cast<double>(chain_tail(id).quantile(0.50));
+      });
+      scope.gauge_fn("chain.tail_p95_cycles", [this, id] {
+        return static_cast<double>(chain_tail(id).quantile(0.95));
+      });
+      scope.gauge_fn("chain.tail_p99_cycles", [this, id] {
+        return static_cast<double>(chain_tail(id).quantile(0.99));
+      });
+      scope.counter_fn("chain.tail_samples",
+                       [this, id] { return chain_tail(id).total_count(); });
+      scope.counter_fn("chain.slo_violation_cycles", [this, id] {
+        return static_cast<std::uint64_t>(chain_slo(id).violation_cycles);
       });
     }
   }
@@ -468,7 +514,15 @@ void Manager::egress(pktio::Mbuf* pkt) {
   if (pkt->chain_id >= chain_latency_.size()) {
     chain_latency_.resize(pkt->chain_id + 1);
   }
-  chain_latency_[pkt->chain_id].record(engine_.now() - pkt->arrival_time);
+  const Cycles latency = engine_.now() - pkt->arrival_time;
+  chain_latency_[pkt->chain_id].record(latency);
+  // Tail telemetry (DESIGN.md §16): same wire-arrival -> wire-egress span,
+  // into the chain's fixed-window estimator. O(1), allocation-free.
+  if (pkt->chain_id >= chain_tail_.size()) {
+    chain_tail_.resize(pkt->chain_id + 1,
+                       obs::LatencyEstimator(config_.slo.window));
+  }
+  chain_tail_[pkt->chain_id].record(static_cast<std::uint64_t>(latency));
 
   // Per-flow counters and the egress sink live on the flow's home lane;
   // when the chain's last hop is elsewhere, route the event home (the
@@ -511,6 +565,30 @@ const Histogram& Manager::chain_latency(flow::ChainId id) const {
   static const ChainLatency kEmptyLatency{};
   return id < chain_latency_.size() ? chain_latency_[id].histogram()
                                     : kEmptyLatency.histogram();
+}
+
+const obs::LatencyEstimator& Manager::chain_tail(flow::ChainId id) const {
+  static const obs::LatencyEstimator kEmptyTail{1};
+  return id < chain_tail_.size() ? chain_tail_[id] : kEmptyTail;
+}
+
+const ChainSloState& Manager::chain_slo(flow::ChainId id) const {
+  static const ChainSloState kNoSlo{};
+  return id < chain_slo_.size() ? chain_slo_[id] : kNoSlo;
+}
+
+void Manager::set_slo_target(flow::ChainId chain, Cycles target) {
+  if (chain >= chain_slo_.size()) chain_slo_.resize(chain + 1);
+  chain_slo_[chain].target = target;
+  const auto it =
+      std::find(slo_chains_.begin(), slo_chains_.end(), chain);
+  if (target > 0 && it == slo_chains_.end()) {
+    slo_chains_.insert(
+        std::upper_bound(slo_chains_.begin(), slo_chains_.end(), chain),
+        chain);
+  } else if (target == 0 && it != slo_chains_.end()) {
+    slo_chains_.erase(it);
+  }
 }
 
 const FlowCounters& Manager::flow_counters(flow::FlowId id) const {
@@ -582,7 +660,12 @@ void Manager::monitor_tick() {
     rec.load_accum += rec.last_load;
     rec.offered_accum += delta;
   }
+  // Tail telemetry rides the monitor cadence (DESIGN.md §16): re-rank each
+  // SLO chain's window, advance its violation clock, mirror p99 to the
+  // other lanes. Chains without targets cost nothing here.
+  if (slo_active()) slo_observe(now);
   if (++monitor_ticks_ % config_.share_updates_every == 0) {
+    if (config_.slo.enabled && slo_active()) slo_control(now);
     if (config_.enable_cgroups) update_shares();
     for (auto& rec : records_) {
       rec.load_accum = 0.0;
@@ -591,23 +674,137 @@ void Manager::monitor_tick() {
   }
 }
 
+void Manager::slo_observe(Cycles now) {
+  auto* tr = obs::trace_of(obs_);
+  for (flow::ChainId chain : slo_chains_) {
+    ChainSloState& st = chain_slo_[chain];
+    // The estimator fills where the chain's last hop runs; every other
+    // replica holds the mirrored p99 and skips the bookkeeping below (so
+    // violation time is never double-counted across lanes).
+    const flow::NfId tail_hop = chain < chain_tails_hop_.size()
+                                    ? chain_tails_hop_[chain]
+                                    : static_cast<flow::NfId>(-1);
+    if (tail_hop >= records_.size() || records_[tail_hop].task == nullptr) {
+      continue;
+    }
+    const obs::LatencyEstimator& est = chain_tail(chain);
+    if (est.size() < config_.slo.min_samples) continue;
+    st.last_p99 = static_cast<Cycles>(est.quantile(0.99));
+    const bool violating = st.last_p99 > st.target;
+    if (violating) st.violation_cycles += config_.monitor_period;
+    if (violating != st.violating) {
+      st.violating = violating;
+      if (tr != nullptr) {
+        tr->instant(
+            now, obs::kSloLane, "slo",
+            violating ? "violation_begin" : "violation_end",
+            {{"chain", chains_.get(chain).name}},
+            {{"p99_cycles", static_cast<std::int64_t>(st.last_p99)},
+             {"target_cycles", static_cast<std::int64_t>(st.target)}});
+      }
+    }
+    if (tr != nullptr) {
+      tr->counter(now, obs::kSloLane, "slo", "chain_p99",
+                  chains_.get(chain).name,
+                  static_cast<std::int64_t>(st.last_p99));
+    }
+    // The mirror exists for remote replicas' boost decisions; rate-cost
+    // fair runs (controller off) keep their message sequence unchanged.
+    if (shard_link_ != nullptr && config_.slo.enabled) {
+      ShardMsg msg;
+      msg.kind = ShardMsg::Kind::kChainTail;
+      msg.nf = static_cast<flow::NfId>(chain);
+      msg.tail_p99 = static_cast<std::uint64_t>(st.last_p99);
+      broadcast_remote(msg);
+    }
+  }
+}
+
+void Manager::slo_control(Cycles now) {
+  auto* tr = obs::trace_of(obs_);
+  // Earliest-slack-first: rank violating chains by slack = target - p99
+  // (most negative, i.e. worst, first; ties by chain id) and boost at most
+  // max_boosts_per_update of them this round. Chains comfortably inside
+  // their target (p99 < headroom*target) decay back toward exactly 1.0,
+  // at which point the allocation is again pure rate-cost fairness.
+  std::vector<std::pair<double, flow::ChainId>> violating;
+  for (flow::ChainId chain : slo_chains_) {
+    ChainSloState& st = chain_slo_[chain];
+    if (st.last_p99 == 0) continue;  // no evidence yet (local or mirrored)
+    const double slack = static_cast<double>(st.target) -
+                         static_cast<double>(st.last_p99);
+    if (slack < 0.0) {
+      st.clear_streak = 0;
+      violating.emplace_back(slack, chain);
+    } else if (static_cast<double>(st.last_p99) <
+               config_.slo.headroom * static_cast<double>(st.target)) {
+      // Recovered update: decay only after decay_after consecutive clear
+      // updates, so one quiet window under persistent contention doesn't
+      // throw the working boost away (see SloConfig::decay_after).
+      if (st.boost > 1.0 && ++st.clear_streak >= config_.slo.decay_after) {
+        st.clear_streak = 0;
+        st.boost = st.boost * config_.slo.decay;
+        if (st.boost < 1.0 + 1e-9) st.boost = 1.0;  // settle exactly
+        if (tr != nullptr) {
+          tr->counter(now, obs::kSloLane, "slo", "chain_boost",
+                      chains_.get(chain).name,
+                      static_cast<std::int64_t>(st.boost * 1000.0));
+        }
+      }
+    }
+  }
+  std::sort(violating.begin(), violating.end());
+  const std::size_t limit = std::min<std::size_t>(
+      violating.size(), config_.slo.max_boosts_per_update);
+  for (std::size_t i = 0; i < limit; ++i) {
+    ChainSloState& st = chain_slo_[violating[i].second];
+    const double before = st.boost;
+    st.boost = std::min(config_.slo.max_boost,
+                        st.boost * config_.slo.boost_step);
+    if (st.boost != before && tr != nullptr) {
+      tr->counter(now, obs::kSloLane, "slo", "chain_boost",
+                  chains_.get(violating[i].second).name,
+                  static_cast<std::int64_t>(st.boost * 1000.0));
+    }
+  }
+}
+
+double Manager::slo_boost_of(flow::NfId id) const {
+  double boost = 1.0;
+  for (flow::ChainId chain : chains_.chains_through(id)) {
+    if (chain < chain_slo_.size()) {
+      boost = std::max(boost, chain_slo_[chain].boost);
+    }
+  }
+  return boost;
+}
+
 void Manager::update_shares() {
-  // Shares_i = Priority_i · load(i) / TotalLoad(m), per shared core m.
-  // Loads are averaged over the ticks since the last update to smooth the
-  // 1 ms estimates before touching the (costly) cgroup filesystem.
+  // Shares_i = Priority_i · Boost_i · load(i) / TotalLoad(m), per shared
+  // core m. With every boost at 1.0 — controller disabled, or all SLO
+  // chains inside target — this is exactly the paper's rate-cost
+  // proportional rule, and the multiplications by 1.0 leave the floating
+  // point arithmetic (hence the written shares) bit-identical to a build
+  // without the SLO path. Loads are averaged over the ticks since the
+  // last update to smooth the 1 ms estimates before touching the (costly)
+  // cgroup filesystem.
+  const bool boosting = config_.slo.enabled && slo_active();
   std::vector<sched::Core*> seen;
   for (auto& rec : records_) {
     if (rec.task == nullptr) continue;  // remote NF: no core on this lane
     if (std::find(seen.begin(), seen.end(), rec.core) != seen.end()) continue;
     seen.push_back(rec.core);
     double total = 0.0;
-    for (auto& other : records_) {
+    for (flow::NfId oid = 0; oid < records_.size(); ++oid) {
+      auto& other = records_[oid];
       if (other.core == rec.core) {
-        total += other.task->priority() * other.load_accum;
+        const double w = boosting ? slo_boost_of(oid) : 1.0;
+        total += other.task->priority() * w * other.load_accum;
       }
     }
     if (total <= 0.0) continue;
-    for (auto& other : records_) {
+    for (flow::NfId oid = 0; oid < records_.size(); ++oid) {
+      auto& other = records_[oid];
       if (other.core != rec.core) continue;
       // A down NF keeps the released kMinShares written at death; writing
       // the min_shares floor here would hand it CPU weight it cannot use.
@@ -620,7 +817,8 @@ void Manager::update_shares() {
       // current weight — writing a near-zero share would starve it before
       // the estimator ever sees a sample.
       if (!other.has_estimate && other.offered_accum > 0.0) continue;
-      const double frac = other.task->priority() * other.load_accum / total;
+      const double w = boosting ? slo_boost_of(oid) : 1.0;
+      const double frac = other.task->priority() * w * other.load_accum / total;
       const auto shares = static_cast<std::uint32_t>(std::max(
           static_cast<double>(config_.min_shares),
           std::round(frac * config_.share_scale)));

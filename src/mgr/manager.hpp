@@ -32,6 +32,7 @@
 #include "flow/service_chain.hpp"
 #include "mgr/shard_link.hpp"
 #include "nf/nf_task.hpp"
+#include "obs/latency_estimator.hpp"
 #include "obs/observability.hpp"
 #include "pktio/flow_key.hpp"
 #include "pktio/mempool.hpp"
@@ -84,6 +85,44 @@ struct ManagerConfig {
   /// keep producing the service-time samples the estimator feeds on. Kept
   /// small so it does not distort the proportional allocation.
   std::uint32_t min_shares = 50;
+
+  /// Latency-SLO controller (DESIGN.md §16). The telemetry half — a
+  /// per-chain fixed-window tail estimator fed at egress — is always on;
+  /// the controller half reads each SLO chain's p99 slack once per share
+  /// update and multiplies the shares of the NFs on violating chains,
+  /// layered on the rate-cost-proportional weights (so with every boost
+  /// at 1.0 the allocation is exactly the paper's). Requires
+  /// enable_cgroups: boosts act through the same cpu.shares writes.
+  struct SloConfig {
+    /// Run the feedback controller. Telemetry and violation accounting
+    /// only need a chain target; they ignore this flag (so a rate-cost
+    /// fair run can still report its SLO violations for comparison).
+    bool enabled = false;
+    std::uint32_t window = 2048;     ///< samples per chain estimator
+    /// Evidence floor: no boost/decay decision until the chain's window
+    /// holds this many egress samples.
+    std::uint32_t min_samples = 64;
+    double boost_step = 2.0;         ///< multiplicative boost per update
+    double decay = 0.5;              ///< boost decay per recovered update
+    double max_boost = 64.0;         ///< cap on any chain's boost
+    /// A violating chain starts decaying only once p99 < headroom*target
+    /// (hysteresis against boost/decay flapping at the target edge).
+    double headroom = 0.8;
+    /// Decay damping: a boosted chain must stay under headroom*target for
+    /// this many *consecutive* share updates before each decay step.
+    /// Without it the controller limit-cycles under persistent contention
+    /// — the window recovers within one update of a boost, the boost
+    /// decays straight back to 1.0, and the chain starves again.
+    std::uint32_t decay_after = 3;
+    /// Earliest-slack-first width: at most this many chains — the ones
+    /// with the most negative slack, ties broken by chain id — are
+    /// boosted per share update; the rest wait their turn.
+    std::uint32_t max_boosts_per_update = 2;
+    /// Applied at start() to every chain without an explicit target
+    /// (microseconds; 0 = chains have no SLO unless set individually).
+    double default_target_us = 0.0;
+  };
+  SloConfig slo;
 
   bp::BpConfig backpressure;
   bp::EcnMarker::Config ecn;
@@ -142,6 +181,22 @@ struct FlowCounters {
   std::uint64_t egress_packets = 0;
   std::uint64_t egress_bytes = 0;
   std::uint64_t ecn_marked = 0;
+};
+
+/// Per-chain SLO state (DESIGN.md §16). Lives on every lane replica; the
+/// violation clock only advances on the lane owning the chain's last hop
+/// (where the estimator records), so summing violation_cycles across lanes
+/// never double-counts. `boost` is maintained wherever the chain has local
+/// NFs, from the same (possibly mirrored) p99 sequence on every lane.
+struct ChainSloState {
+  Cycles target = 0;           ///< p99 target in cycles; 0 = no SLO
+  double boost = 1.0;          ///< current share multiplier (>= 1.0)
+  bool violating = false;      ///< p99 over target at the last evaluation
+  Cycles violation_cycles = 0; ///< total time spent in violation
+  Cycles last_p99 = 0;         ///< latest evaluated p99 (local or mirrored)
+  /// Consecutive share updates spent under headroom*target (resets on any
+  /// violation); gates decay, see SloConfig::decay_after.
+  std::uint32_t clear_streak = 0;
 };
 
 class Manager : public fault::FaultSink {
@@ -228,6 +283,16 @@ class Manager : public fault::FaultSink {
   [[nodiscard]] const ChainCounters& chain_counters(flow::ChainId id) const;
   /// End-to-end latency histogram for a chain (empty until first egress).
   [[nodiscard]] const Histogram& chain_latency(flow::ChainId id) const;
+  /// Fixed-window tail estimator for a chain (DESIGN.md §16); empty until
+  /// the first egress on this replica (sharded: the last hop's lane).
+  [[nodiscard]] const obs::LatencyEstimator& chain_tail(flow::ChainId id) const;
+
+  // -- latency SLOs (DESIGN.md §16) -----------------------------------------
+  /// Set a chain's p99 latency target in cycles (0 clears it). Telemetry
+  /// and violation accounting follow the target; share boosts additionally
+  /// need config().slo.enabled. Callable before or after start().
+  void set_slo_target(flow::ChainId chain, Cycles target);
+  [[nodiscard]] const ChainSloState& chain_slo(flow::ChainId id) const;
   [[nodiscard]] const FlowCounters& flow_counters(flow::FlowId id) const;
   [[nodiscard]] bp::BackpressureManager* backpressure() { return bp_.get(); }
   [[nodiscard]] bp::EcnMarker* ecn() { return ecn_.get(); }
@@ -332,6 +397,20 @@ class Manager : public fault::FaultSink {
   void update_shares();
   void drop(pktio::Mbuf* pkt);
 
+  // -- latency SLOs (DESIGN.md §16) -----------------------------------------
+  /// Monitor-tick half: on the lane owning each SLO chain's last hop,
+  /// re-rank the window, advance the violation clock, emit trace edges and
+  /// (sharded, controller on) broadcast the p99 mirror.
+  void slo_observe(Cycles now);
+  /// Share-update half: earliest-slack-first boost of violating chains,
+  /// decay of recovered ones. Only called when config_.slo.enabled.
+  void slo_control(Cycles now);
+  /// Share multiplier for an NF: max boost over the SLO chains through it.
+  [[nodiscard]] double slo_boost_of(flow::NfId id) const;
+  [[nodiscard]] bool slo_active() const {
+    return !slo_chains_.empty();
+  }
+
   // -- lifecycle internals (DESIGN.md §11) ----------------------------------
   /// Periodic heartbeat scan: detects dead/stuck NFs, fires due restarts,
   /// completes warm-ups. Only scheduled when lifecycle.enabled.
@@ -363,12 +442,21 @@ class Manager : public fault::FaultSink {
   std::vector<NfRecord> records_;
   std::vector<ChainCounters> chain_counters_;
   std::vector<ChainLatency> chain_latency_;
+  /// Per-chain tail estimators (fed at egress) and SLO state. Sized with
+  /// chain_counters_ at start(); lazily grown for out-of-registry ids.
+  std::vector<obs::LatencyEstimator> chain_tail_;
+  std::vector<ChainSloState> chain_slo_;
+  /// Chains with a target, ascending — the slice the SLO paths scan.
+  std::vector<flow::ChainId> slo_chains_;
   std::vector<FlowCounters> flow_counters_;
   std::vector<EgressSink> egress_sinks_;
   /// chain id -> first hop, frozen at start(). Hot paths that only need the
   /// chain head (entry-throttle accounting, ECN/egress flow-home routing)
   /// read this instead of walking the registry per packet.
   std::vector<flow::NfId> chain_heads_;
+  /// chain id -> last hop, frozen at start(). The SLO paths use it to pick
+  /// each chain's estimator-owning lane (egress happens on this hop's lane).
+  std::vector<flow::NfId> chain_tails_hop_;
 
   std::unique_ptr<bp::BackpressureManager> bp_;
   std::unique_ptr<bp::EcnMarker> ecn_;

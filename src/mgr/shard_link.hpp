@@ -57,12 +57,20 @@ struct ShardMsg {
     /// An rx-full drop on this lane was caused by `nf` (the upstream hop)
     /// on another lane; bump its downstream_drops counter at home.
     kDownstreamDrop,
+    /// Tail-latency mirror (DESIGN.md §16): the lane owning a chain's last
+    /// hop — where egress happens and the chain's LatencyEstimator lives —
+    /// broadcasts the chain's current p99 every monitor tick while the SLO
+    /// controller is enabled, so replicas whose NFs sit mid-chain can run
+    /// the same boost decisions. `nf` carries the ChainId (the id spaces
+    /// are both dense uint32 indices), `tail_p99` the p99 in cycles.
+    kChainTail,
   };
 
   Kind kind = Kind::kPacket;
   bp::ThrottleState bp_state = bp::ThrottleState::kClear;  ///< kBpState
   flow::NfId nf = 0;      ///< destination or subject NF (kind-dependent)
   Cycles when = 0;        ///< delivery time on the destination lane
+  std::uint64_t tail_p99 = 0;  ///< kChainTail: chain p99 in cycles
   pktio::Mbuf pkt{};      ///< kPacket / kFlowEgress payload (by value)
 };
 

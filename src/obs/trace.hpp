@@ -33,6 +33,9 @@ inline constexpr std::uint32_t kLifecycleLane = 902;
 /// Storage fault domain: device fault windows, I/O timeouts/retries,
 /// degraded-mode entry/exit (DESIGN.md §12).
 inline constexpr std::uint32_t kIoLane = 903;
+/// Latency-SLO controller (DESIGN.md §16): per-chain p99 samples,
+/// violation begin/end edges, share-boost counter series.
+inline constexpr std::uint32_t kSloLane = 904;
 
 struct TraceEvent {
   Cycles ts = 0;            ///< Engine time the event fired.

@@ -416,5 +416,58 @@ TEST(ConfigLoader, EngineBadPendingFails) {
   EXPECT_THROW(load_string("engine wheel speed=11\n", sim3), ConfigError);
 }
 
+// -- slo directive (DESIGN.md §16) ------------------------------------------
+
+TEST(ConfigLoader, SloDirectiveSetsChainTarget) {
+  Simulation sim;
+  const auto topo = load_string(R"(
+    core batch
+    nf fwd core=0 cost=120
+    chain c fwd
+    slo c target_us=150
+    udp c rate=1e5
+  )",
+                                sim);
+  sim.run_for_seconds(0.05);
+  const auto report = sim.chain_slo_report(topo.chains.at("c"));
+  EXPECT_EQ(report.target, sim.clock().from_micros(150.0));
+  EXPECT_GT(report.tail.total_count, 0u);
+}
+
+TEST(ConfigLoader, SloZeroTargetClears) {
+  Simulation sim;
+  const auto topo = load_string(
+      "core batch\nnf fwd core=0 cost=120\nchain c fwd\n"
+      "slo c target_us=150\nslo c target_us=0\n",
+      sim);
+  EXPECT_EQ(sim.chain_slo_report(topo.chains.at("c")).target, 0u);
+}
+
+TEST(ConfigLoader, SloUnknownChainFails) {
+  Simulation sim;
+  EXPECT_THROW(load_string("core batch\nslo ghost target_us=10\n", sim),
+               ConfigError);
+}
+
+TEST(ConfigLoader, SloBadOptionFails) {
+  Simulation sim;
+  EXPECT_THROW(
+      load_string("core batch\nnf f core=0 cost=10\nchain c f\nslo c p99=5\n",
+                  sim),
+      ConfigError);
+  Simulation sim2;
+  EXPECT_THROW(
+      load_string(
+          "core batch\nnf f core=0 cost=10\nchain c f\nslo c target_us=-2\n",
+          sim2),
+      ConfigError);
+  Simulation sim3;
+  EXPECT_THROW(
+      load_string(
+          "core batch\nnf f core=0 cost=10\nchain c f\nslo c target_us=abc\n",
+          sim3),
+      ConfigError);
+}
+
 }  // namespace
 }  // namespace nfv::config

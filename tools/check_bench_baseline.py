@@ -47,6 +47,21 @@ higher-is-better:
                                  SKIP (the bench still enforces the
                                  byte-identity contract by exit code).
 
+Two fig_slo metrics are lower-is-better (DESIGN.md §16) and checked
+against a ceiling of base * (1 + tolerance) instead:
+
+  slo_violation_ratio            fig_slo: SLO-violation-seconds of the
+                                 feedback controller relative to rate-cost
+                                 fairness (NORMAL scheduler). Additionally
+                                 gated against an absolute 1.0 ceiling:
+                                 the controller must strictly beat fair
+                                 whatever the baseline recorded.
+                                 Deterministic simulation output.
+  slo_p99_us                     fig_slo: the controller arm's whole-run
+                                 p99 chain-completion latency in
+                                 microseconds. Deterministic simulation
+                                 output.
+
 Regenerate the baseline (e.g. on a hardware change or an accepted perf
 shift) with --update. CI machines are noisy, hence the wide tolerance;
 the baseline was captured on an idle box, so a genuine 20% regression is
@@ -90,6 +105,19 @@ def run_fig_io_fault(binary: pathlib.Path) -> float:
     return float(json.loads(out)["io_fault_goodput_ratio"])
 
 
+def run_fig_slo(binary: pathlib.Path) -> dict:
+    # The bench exits non-zero when the SLO arm's report is not
+    # byte-identical across a rerun or across sim_shards=1 vs 4, so
+    # check=True doubles as the determinism gate (micro_shard precedent).
+    out = subprocess.run([str(binary), "--json"], check=True,
+                         capture_output=True, text=True).stdout
+    data = json.loads(out)
+    return {
+        "slo_violation_ratio": float(data["slo_violation_ratio"]),
+        "slo_p99_us": float(data["slo_p99_us"]),
+    }
+
+
 def run_micro_flowmap(binary: pathlib.Path) -> dict:
     out = subprocess.run([str(binary), "--json"], check=True,
                          capture_output=True, text=True).stdout
@@ -127,6 +155,13 @@ SHARD_SPEEDUP_MIN_CORES = 4
 # scenario must run at least this many times faster than the heap. A
 # single-threaded ratio, so no core-count gate.
 TIMER_WHEEL_SPEEDUP_FLOOR = 3.0
+
+# Metrics where smaller is better: checked against a ceiling instead of a
+# floor. slo_violation_ratio additionally has an absolute ceiling — the
+# feedback controller must produce strictly fewer violation-seconds than
+# rate-cost fairness no matter what the baseline recorded.
+LOWER_IS_BETTER = {"slo_violation_ratio", "slo_p99_us"}
+SLO_VIOLATION_RATIO_CEILING = 1.0
 
 
 def run_micro_substrate(binary: pathlib.Path, repetitions: int) -> float:
@@ -173,6 +208,7 @@ def main() -> int:
     }
     current.update(run_micro_engine(bench_dir / "micro_engine"))
     current.update(run_micro_flowmap(bench_dir / "micro_flowmap"))
+    current.update(run_fig_slo(bench_dir / "fig_slo"))
     shard = run_micro_shard(bench_dir / "micro_shard")
     host_cores = shard.pop("host_cores")
     current.update(shard)
@@ -193,6 +229,15 @@ def main() -> int:
                   "(baseline entry is stale; regenerate with --update)")
             continue
         now = current[name]
+        if name in LOWER_IS_BETTER:
+            ceiling = base * (1.0 + args.tolerance)
+            if name == "slo_violation_ratio":
+                ceiling = min(ceiling, SLO_VIOLATION_RATIO_CEILING)
+            verdict = "OK" if now <= ceiling else "REGRESSION"
+            failed |= now > ceiling
+            print(f"{verdict:>10}  {name}: {now:.4g} "
+                  f"(baseline {base:.4g}, ceiling {ceiling:.4g})")
+            continue
         if name == "shard_speedup_4w":
             # Absolute gate, host-core aware: see the docstring.
             if host_cores < SHARD_SPEEDUP_MIN_CORES:
