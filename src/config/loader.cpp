@@ -1,5 +1,6 @@
 #include "config/loader.hpp"
 
+#include <set>
 #include <sstream>
 #include <vector>
 
@@ -51,6 +52,9 @@ Topology load(std::istream& in, core::Simulation& sim) {
   int line_no = 0;
   int udp_count = 0;
   int tcp_count = 0;
+  // One flow class per chain: re-classing silently overwrites shed state,
+  // so the loader treats a second `class` line as a config bug.
+  std::set<std::string> classed_chains;
   // The engine directive rewires the ready queue, which is only safe while
   // nothing is scheduled — so it must precede every topology directive.
   bool topology_started = false;
@@ -498,6 +502,47 @@ Topology load(std::istream& in, core::Simulation& sim) {
         throw ConfigError(line_no, "slo target_us must be >= 0");
       }
       sim.set_chain_slo(it->second, target_us);
+
+    } else if (verb == "class") {
+      // class <chain> priority=<p> utility=<u> — give the chain a flow
+      // class and arm the ingress admission gate (DESIGN.md §17).
+      // Priority ranks the chain for push-aside; utility orders the shed
+      // ladder (lowest-utility classes are shed first under overload).
+      if (tokens.size() < 2) {
+        throw ConfigError(line_no,
+                          "class takes a chain and priority=/utility= options");
+      }
+      const auto it = topo.chains.find(tokens[1]);
+      if (it == topo.chains.end()) {
+        throw ConfigError(line_no, "unknown chain '" + tokens[1] + "'");
+      }
+      if (!classed_chains.insert(tokens[1]).second) {
+        throw ConfigError(line_no,
+                          "duplicate class for chain '" + tokens[1] + "'");
+      }
+      double priority = 1.0;
+      double utility = 1.0;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        std::string key, value;
+        if (!split_kv(tokens[i], key, value)) {
+          throw ConfigError(line_no, "expected key=value, got '" + tokens[i] + "'");
+        }
+        const double parsed = parse_double(line_no, value, key);
+        if (key == "priority") {
+          priority = parsed;
+        } else if (key == "utility") {
+          utility = parsed;
+        } else {
+          throw ConfigError(line_no, "unknown class option '" + key + "'");
+        }
+      }
+      if (!(priority > 0.0) || priority > 1000.0) {
+        throw ConfigError(line_no, "class priority must be in (0, 1000]");
+      }
+      if (!(utility > 0.0) || utility > 1000.0) {
+        throw ConfigError(line_no, "class utility must be in (0, 1000]");
+      }
+      sim.set_chain_class(it->second, priority, utility);
 
     } else {
       throw ConfigError(line_no, "unknown directive '" + verb + "'");

@@ -48,6 +48,7 @@ ChainMetrics ChainMetrics::operator-(const ChainMetrics& rhs) const {
   ChainMetrics d = *this;
   d.entry_admitted -= rhs.entry_admitted;
   d.entry_throttle_drops -= rhs.entry_throttle_drops;
+  d.admission_discards -= rhs.admission_discards;
   d.egress_packets -= rhs.egress_packets;
   d.egress_bytes -= rhs.egress_bytes;
   return d;
@@ -85,6 +86,10 @@ Simulation::Simulation(PlatformConfig config)
       config_.engine_backend = env_backend;
     }
   }
+  // The admission trickle bucket is specified in packets per second; give
+  // it this platform's clock so the cycle conversion is right (no-op for
+  // runs that never register a flow class).
+  config_.manager.admission.cpu_hz = config_.cpu_hz;
   if (config_.sim_shards > 0) {
     // Every lane builds its own pool/manager/flow table as cores are added;
     // the legacy singletons (and their root-registry probes) stay unbuilt
@@ -327,6 +332,50 @@ void Simulation::set_chain_slo(flow::ChainId chain, double target_us) {
     return;
   }
   manager_->set_slo_target(chain, target);
+}
+
+void Simulation::set_chain_class(flow::ChainId chain, double priority,
+                                 double utility) {
+  assert(!started_ && "register flow classes before traffic starts");
+  bp::ClassSpec spec;
+  spec.priority = priority;
+  spec.utility = utility;
+  // Every lane learns the class: the home lane runs the gate, the tail
+  // lane needs has_class() to decide whether to broadcast kChainOverload.
+  if (shard_) {
+    for (std::size_t l = 0; l < shard_->size(); ++l) {
+      shard_->lane(l).manager->set_chain_class(chain, spec);
+    }
+    return;
+  }
+  manager_->set_chain_class(chain, spec);
+}
+
+Simulation::ChainAdmissionReport Simulation::chain_admission_report(
+    flow::ChainId chain) const {
+  ChainAdmissionReport out;
+  const auto fold = [&](const mgr::Manager& m) {
+    const bp::AdmissionController* adm = m.admission();
+    if (adm == nullptr || !adm->has_class(chain)) return;
+    out.classed = true;
+    const bp::ClassSpec* spec = adm->class_of(chain);
+    out.priority = spec->priority;
+    out.utility = spec->utility;
+    out.engaged = out.engaged || adm->engaged(chain);
+    const bp::AdmissionClassStats& st = adm->stats(chain);
+    out.engagements += st.engagements;
+    out.releases += st.releases;
+    out.discards += st.discards;
+    out.trickle_admits += st.trickle_admits;
+  };
+  if (shard_) {
+    for (std::size_t l = 0; l < shard_->size(); ++l) {
+      fold(*shard_->lane(l).manager);
+    }
+  } else {
+    fold(*manager_);
+  }
+  return out;
 }
 
 fault::NfLifecycle Simulation::nf_lifecycle(flow::NfId id) const {
@@ -628,6 +677,7 @@ ChainMetrics Simulation::chain_metrics(flow::ChainId id) const {
       const auto& cc = shard_->lane(l).manager->chain_counters(id);
       m.entry_admitted += cc.entry_admitted;
       m.entry_throttle_drops += cc.entry_throttle_drops;
+      m.admission_discards += cc.admission_discards;
       m.egress_packets += cc.egress_packets;
       m.egress_bytes += cc.egress_bytes;
     }
@@ -636,6 +686,7 @@ ChainMetrics Simulation::chain_metrics(flow::ChainId id) const {
   const auto& cc = manager_->chain_counters(id);
   m.entry_admitted = cc.entry_admitted;
   m.entry_throttle_drops = cc.entry_throttle_drops;
+  m.admission_discards = cc.admission_discards;
   m.egress_packets = cc.egress_packets;
   m.egress_bytes = cc.egress_bytes;
   return m;
@@ -657,6 +708,7 @@ void Simulation::attach_trace(obs::TraceRecorder& recorder) {
   recorder.set_lane_name(obs::kLifecycleLane, "lifecycle");
   recorder.set_lane_name(obs::kIoLane, "storage-io");
   recorder.set_lane_name(obs::kSloLane, "slo-controller");
+  recorder.set_lane_name(obs::kAdmissionLane, "admission");
   if (shard_) {
     // Each lane records into a private buffer (worker threads must not
     // share a recorder); after every run the buffers are merged into the
@@ -761,6 +813,16 @@ void Simulation::report_json(std::ostream& out) const {
       w.field("downtime_cycles", static_cast<std::int64_t>(ls.downtime_cycles));
       w.end_object();
     }
+    // PAM push-aside trajectory (DESIGN.md §17); the block appears only
+    // when the controller is armed, keeping legacy reports byte-identical.
+    if (mgr.config().push_aside.enabled) {
+      w.key("pam");
+      w.begin_object();
+      w.field("push_scale", mgr.push_scale_of(id));
+      w.field("grabs", mgr.push_grabs_of(id));
+      w.field("givebacks", mgr.push_givebacks_of(id));
+      w.end_object();
+    }
     w.end_object();
   }
   w.end_array();
@@ -824,6 +886,23 @@ void Simulation::report_json(std::ostream& out) const {
                                        static_cast<double>(sr.target));
         w.field("violation_seconds", clock_.to_seconds(sr.violation_cycles));
         w.field("boost", sr.boost);
+        w.end_object();
+      }
+    }
+    // Overload control (DESIGN.md §17): emitted only for classed chains,
+    // so legacy reports stay byte-identical.
+    {
+      const ChainAdmissionReport ar = chain_admission_report(id);
+      if (ar.classed) {
+        w.key("admission");
+        w.begin_object();
+        w.field("priority", ar.priority);
+        w.field("utility", ar.utility);
+        w.field("engaged", ar.engaged);
+        w.field("engagements", ar.engagements);
+        w.field("releases", ar.releases);
+        w.field("admission_discards", m.admission_discards);
+        w.field("trickle_admits", ar.trickle_admits);
         w.end_object();
       }
     }

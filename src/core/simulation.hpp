@@ -208,6 +208,9 @@ struct NfMetrics {
 struct ChainMetrics {
   std::uint64_t entry_admitted = 0;
   std::uint64_t entry_throttle_drops = 0;
+  /// Shed by the ingress admission gate (DESIGN.md §17); 0 unless the
+  /// chain has a flow class. A distinct sink from entry_throttle_drops.
+  std::uint64_t admission_discards = 0;
   std::uint64_t egress_packets = 0;
   std::uint64_t egress_bytes = 0;
 
@@ -262,6 +265,34 @@ class Simulation {
   /// boosts). 0 removes the target. Sharded simulations apply the target
   /// on every lane, like set_dead_policy.
   void set_chain_slo(flow::ChainId chain, double target_us);
+
+  // -- overload control (DESIGN.md §17) ---------------------------------------
+  /// Give `chain` a flow class (`class <chain> priority= utility=`) and arm
+  /// the ingress admission gate for it: when the chain's first-hop queue
+  /// crosses the engage watermark or its SLO violation clock is running,
+  /// the lowest-utility classes sharing that queue are shed first (token-
+  /// bucket trickle, engage/release hysteresis, minimum hold). Runs that
+  /// never register a class execute no admission code and stay
+  /// byte-identical to earlier versions. Sharded simulations register the
+  /// class on every lane, like set_chain_slo. Call before the first run.
+  void set_chain_class(flow::ChainId chain, double priority, double utility);
+
+  /// Merged per-chain admission summary. `classed` is false (and the rest
+  /// zero) for chains without a flow class; counters are summed over lanes
+  /// (only the chain's home lane ever increments them), `engaged` is true
+  /// if any lane's gate is currently shedding the class.
+  struct ChainAdmissionReport {
+    bool classed = false;
+    bool engaged = false;
+    double priority = 1.0;
+    double utility = 1.0;
+    std::uint64_t engagements = 0;
+    std::uint64_t releases = 0;
+    std::uint64_t discards = 0;
+    std::uint64_t trickle_admits = 0;
+  };
+  [[nodiscard]] ChainAdmissionReport chain_admission_report(
+      flow::ChainId chain) const;
 
   /// Merged per-chain tail/SLO state: the window snapshot (exact nearest-
   /// rank quantiles), the violation clock, the controller's current boost

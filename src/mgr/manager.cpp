@@ -211,6 +211,16 @@ void Manager::apply_shard_msg(const ShardMsg& msg) {
       chain_slo_[chain].last_p99 = static_cast<Cycles>(msg.tail_p99);
       break;
     }
+    case ShardMsg::Kind::kChainOverload: {
+      // SLO-violating mirror from the chain's tail-owning lane (DESIGN.md
+      // §17). Only the violating flag is mirrored — the admission gate on
+      // the chain's home lane reads it as an engage trigger; violation
+      // *time* keeps accruing on the owner alone.
+      const auto chain = static_cast<flow::ChainId>(msg.nf);
+      if (chain >= chain_slo_.size()) chain_slo_.resize(chain + 1);
+      chain_slo_[chain].violating = msg.tail_p99 != 0;
+      break;
+    }
   }
 }
 
@@ -305,6 +315,32 @@ void Manager::start() {
         return static_cast<std::uint64_t>(chain_slo(id).violation_cycles);
       });
     }
+    // Overload-control instruments (DESIGN.md §17) register only when the
+    // feature is armed, so legacy runs keep their metrics layout (and so
+    // their reports) byte-identical.
+    if (adm_ != nullptr) {
+      std::vector<std::string> chain_names;
+      chain_names.reserve(chains_.size());
+      for (flow::ChainId id = 0; id < chains_.size(); ++id) {
+        chain_names.push_back(chains_.get(id).name);
+      }
+      adm_->set_observability(obs_, chain_names);
+      obs::Scope scope = obs_->global_scope();
+      scope.counter_fn("mgr.admission_discards",
+                       [this] { return adm_->total_discards(); });
+    }
+    if (config_.push_aside.enabled) {
+      for (flow::NfId id = 0; id < records_.size(); ++id) {
+        if (records_[id].task == nullptr) continue;
+        obs::Scope scope = obs_->nf_scope(records_[id].name);
+        scope.counter_fn("pam.grabs",
+                         [this, id] { return records_[id].push_grabs; });
+        scope.counter_fn("pam.givebacks",
+                         [this, id] { return records_[id].push_givebacks; });
+        scope.gauge_fn("pam.push_scale",
+                       [this, id] { return records_[id].push_scale; });
+      }
+    }
   }
   engine_.schedule_periodic(config_.wakeup_period, [this] { wakeup_scan(); });
   engine_.schedule_periodic(config_.monitor_period, [this] { monitor_tick(); });
@@ -359,6 +395,21 @@ void Manager::ingress(pktio::Mbuf* pkt, const pktio::FlowKey& key,
     if (auto* tr = obs::trace_of(obs_)) {
       tr->instant(arrival, obs::kManagerLane, "mgr", "drop",
                   {{"reason", "entry_throttle"}},
+                  {{"chain", static_cast<std::int64_t>(pkt->chain_id)}});
+    }
+    drop(pkt);
+    return;
+  }
+  // Admission gate (DESIGN.md §17): a shed flow class spends a trickle
+  // token or is discarded at the wire — before any chain CPU, into its own
+  // conservation sink. Like the entry-throttle discard above, the chain
+  // head still counts the packet as offered load so λ stays honest.
+  if (adm_ != nullptr && !adm_->admit(pkt->chain_id, arrival)) {
+    ++records_[chain_head(pkt->chain_id)].counters.offered;
+    ++cc.admission_discards;
+    if (auto* tr = obs::trace_of(obs_)) {
+      tr->instant(arrival, obs::kAdmissionLane, "adm", "drop",
+                  {{"reason", "admission"}},
                   {{"chain", static_cast<std::int64_t>(pkt->chain_id)}});
     }
     drop(pkt);
@@ -664,8 +715,26 @@ void Manager::monitor_tick() {
   // SLO chain's window, advance its violation clock, mirror p99 to the
   // other lanes. Chains without targets cost nothing here.
   if (slo_active()) slo_observe(now);
+  // Overload control rides the same cadences (DESIGN.md §17): the
+  // admission shed ladders advance with the telemetry every tick, the
+  // push-aside grab/give-back machine with the share updates.
+  if (adm_ != nullptr) admission_evaluate(now);
+  if (config_.push_aside.enabled) {
+    // Sticky pressure sampling: a short ring can cross the high watermark
+    // and drain again between share updates, so push-aside would never
+    // see it at the 10 ms instants alone. Latch pressure every monitor
+    // tick; push_aside_control consumes and clears the flags.
+    for (flow::NfId id = 0; id < records_.size(); ++id) {
+      NfRecord& rec = records_[id];
+      if (rec.task == nullptr || rec.push_pressure) continue;
+      rec.push_pressure =
+          rec.task->rx_ring().above_high_watermark() ||
+          (bp_ != nullptr && bp_->state(id) != bp::ThrottleState::kClear);
+    }
+  }
   if (++monitor_ticks_ % config_.share_updates_every == 0) {
     if (config_.slo.enabled && slo_active()) slo_control(now);
+    if (config_.push_aside.enabled) push_aside_control(now);
     if (config_.enable_cgroups) update_shares();
     for (auto& rec : records_) {
       rec.load_accum = 0.0;
@@ -701,6 +770,17 @@ void Manager::slo_observe(Cycles now) {
             {{"chain", chains_.get(chain).name}},
             {{"p99_cycles", static_cast<std::int64_t>(st.last_p99)},
              {"target_cycles", static_cast<std::int64_t>(st.target)}});
+      }
+      // Admission engage trigger (DESIGN.md §17): the gate runs on the
+      // chain's *home* lane but the violation clock lives here, on the
+      // tail's lane — mirror the flip. Gated on the chain having a class,
+      // so runs without admission post zero extra messages.
+      if (shard_link_ != nullptr && adm_ != nullptr && adm_->has_class(chain)) {
+        ShardMsg msg;
+        msg.kind = ShardMsg::Kind::kChainOverload;
+        msg.nf = static_cast<flow::NfId>(chain);
+        msg.tail_p99 = violating ? 1 : 0;
+        broadcast_remote(msg);
       }
     }
     if (tr != nullptr) {
@@ -779,6 +859,113 @@ double Manager::slo_boost_of(flow::NfId id) const {
   return boost;
 }
 
+// ---------------------------------------------------------------------------
+// Overload control: ingress admission + PAM push-aside (DESIGN.md §17)
+// ---------------------------------------------------------------------------
+
+void Manager::set_chain_class(flow::ChainId chain, bp::ClassSpec spec) {
+  assert(!started_ && "register flow classes before start()");
+  if (adm_ == nullptr) {
+    adm_ = std::make_unique<bp::AdmissionController>(config_.admission);
+  }
+  adm_->set_class(chain, spec);
+}
+
+void Manager::admission_evaluate(Cycles now) {
+  // The gate lives where ingress happens — each classed chain's home (head)
+  // lane. Replicas holding the chain's head as a remote placeholder skip
+  // it: their ladders stay idle and the merged adm.* counters equal the
+  // home lane's, keeping reports identical at any worker count.
+  adm_inputs_.clear();
+  for (flow::ChainId chain = 0; chain < chains_.size(); ++chain) {
+    if (!adm_->has_class(chain)) continue;
+    const flow::NfId head = chain_head(chain);
+    if (head >= records_.size() || records_[head].task == nullptr) continue;
+    const pktio::Ring& rx = records_[head].task->rx_ring();
+    bp::AdmissionInput in;
+    in.chain = chain;
+    in.group = head;
+    in.occupancy =
+        rx.capacity() > 0
+            ? static_cast<double>(rx.size()) / static_cast<double>(rx.capacity())
+            : 0.0;
+    // Locally observed for tail-local chains, kChainOverload-mirrored for
+    // chains whose last hop runs on another lane.
+    in.violating = chain < chain_slo_.size() && chain_slo_[chain].violating;
+    adm_inputs_.push_back(in);
+  }
+  if (!adm_inputs_.empty()) adm_->evaluate(now, adm_inputs_);
+}
+
+void Manager::push_aside_control(Cycles now) {
+  // PAM-style cycle borrowing: an NF whose RX queue sits over the high
+  // watermark confiscates a share slice from each *lower-priority* NF on
+  // its core — multiplicative grab with a floor, additive give-back once
+  // the pressure clears, and a minimum hold so a queue flickering at the
+  // watermark cannot flap the weights. Everything here is core-local, so
+  // no shard mirroring is needed: each lane runs the machine for its own
+  // cores and remote replicas report the neutral 1.0.
+  auto* tr = obs::trace_of(obs_);
+  const auto& cfg = config_.push_aside;
+  // "Overloaded" means queue pressure at any monitor tick since the last
+  // share update (the sticky flag monitor_tick latches from the ring level
+  // and the backpressure hysteresis state), so a ring oscillating across
+  // the watermark between updates still registers.
+  const auto overloaded = [](flow::NfId, const NfRecord& rec) {
+    return rec.push_pressure || rec.task->rx_ring().above_high_watermark();
+  };
+  for (flow::NfId vid = 0; vid < records_.size(); ++vid) {
+    NfRecord& victim = records_[vid];
+    if (victim.task == nullptr) continue;
+    if (victim.life != fault::NfLifecycle::kRunning) continue;
+    // An overloaded NF is never a victim itself, whatever its priority —
+    // two overloaded neighbors must not grab from each other.
+    const bool self_overloaded = overloaded(vid, victim);
+    bool pressed = false;
+    if (!self_overloaded) {
+      for (flow::NfId aid = 0; aid < records_.size() && !pressed; ++aid) {
+        if (aid == vid) continue;
+        const NfRecord& a = records_[aid];
+        if (a.task == nullptr || a.core != victim.core) continue;
+        if (a.life != fault::NfLifecycle::kRunning) continue;
+        if (a.task->priority() <= victim.task->priority()) continue;
+        pressed = overloaded(aid, a);
+      }
+    }
+    if (pressed) {
+      victim.push_hold = cfg.min_hold_updates;
+      if (victim.push_scale > cfg.victim_floor) {
+        victim.push_scale =
+            std::max(cfg.victim_floor, victim.push_scale / cfg.grab_factor);
+        ++victim.push_grabs;
+        if (tr != nullptr) {
+          tr->instant(now, obs::kAdmissionLane, "pam", "grab",
+                      {{"victim", victim.name}},
+                      {{"scale_x1000", static_cast<std::int64_t>(
+                                           victim.push_scale * 1000.0)}});
+        }
+      }
+    } else if (victim.push_scale < 1.0) {
+      if (victim.push_hold > 0) {
+        --victim.push_hold;
+        continue;
+      }
+      // min() settles the scale to exactly 1.0, restoring the bit-exact
+      // rate-cost allocation once the borrow is fully repaid.
+      victim.push_scale = std::min(1.0, victim.push_scale + cfg.giveback_step);
+      ++victim.push_givebacks;
+      if (tr != nullptr) {
+        tr->instant(now, obs::kAdmissionLane, "pam", "give_back",
+                    {{"victim", victim.name}},
+                    {{"scale_x1000", static_cast<std::int64_t>(
+                                         victim.push_scale * 1000.0)}});
+      }
+    }
+  }
+  // Fresh pressure window for the next update period.
+  for (auto& rec : records_) rec.push_pressure = false;
+}
+
 void Manager::update_shares() {
   // Shares_i = Priority_i · Boost_i · load(i) / TotalLoad(m), per shared
   // core m. With every boost at 1.0 — controller disabled, or all SLO
@@ -789,6 +976,11 @@ void Manager::update_shares() {
   // last update to smooth the 1 ms estimates before touching the (costly)
   // cgroup filesystem.
   const bool boosting = config_.slo.enabled && slo_active();
+  // Push-aside composes as a second multiplier on the same weight: a
+  // victim's confiscated slice (push_scale < 1) shrinks its numerator and
+  // the shared denominator, handing the freed share to its core peers.
+  // Disabled it contributes literal 1.0, like the boost term.
+  const bool pushing = config_.push_aside.enabled;
   std::vector<sched::Core*> seen;
   for (auto& rec : records_) {
     if (rec.task == nullptr) continue;  // remote NF: no core on this lane
@@ -799,7 +991,8 @@ void Manager::update_shares() {
       auto& other = records_[oid];
       if (other.core == rec.core) {
         const double w = boosting ? slo_boost_of(oid) : 1.0;
-        total += other.task->priority() * w * other.load_accum;
+        const double g = pushing ? other.push_scale : 1.0;
+        total += other.task->priority() * w * g * other.load_accum;
       }
     }
     if (total <= 0.0) continue;
@@ -818,7 +1011,9 @@ void Manager::update_shares() {
       // the estimator ever sees a sample.
       if (!other.has_estimate && other.offered_accum > 0.0) continue;
       const double w = boosting ? slo_boost_of(oid) : 1.0;
-      const double frac = other.task->priority() * w * other.load_accum / total;
+      const double g = pushing ? other.push_scale : 1.0;
+      const double frac =
+          other.task->priority() * w * g * other.load_accum / total;
       const auto shares = static_cast<std::uint32_t>(std::max(
           static_cast<double>(config_.min_shares),
           std::round(frac * config_.share_scale)));
@@ -1014,6 +1209,11 @@ void Manager::on_nf_death(flow::NfId id, Cycles now, bool forced) {
   rec.last_load = 0.0;
   rec.load_accum = 0.0;
   rec.has_estimate = false;
+  // A dead NF holds no borrowed-from slice: clear any push-aside grab so
+  // the fresh process starts at the neutral weight (its replacement's
+  // shares are re-derived from scratch anyway).
+  rec.push_scale = 1.0;
+  rec.push_hold = 0;
 
   for (flow::ChainId chain : chains_.chains_through(id)) {
     if (chain >= dead_on_chain_.size()) dead_on_chain_.resize(chain + 1, 0);

@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "bp/admission.hpp"
 #include "bp/backpressure.hpp"
 #include "bp/ecn.hpp"
 #include "common/histogram.hpp"
@@ -124,6 +125,36 @@ struct ManagerConfig {
   };
   SloConfig slo;
 
+  /// PAM-style push-aside (DESIGN.md §17): when an NF's RX queue sits over
+  /// the backpressure high watermark and a *lower-priority* NF shares its
+  /// core, the Manager temporarily confiscates a share slice from the
+  /// neighbor instead of letting the overload propagate upstream —
+  /// multiplicative grab, additive give-back, and a floor so the victim
+  /// never fully starves. The per-victim scale composes with the SLO boost
+  /// inside update_shares() (both multiply the rate-cost weight), and like
+  /// the boost it settles to exactly 1.0, so disabled runs are
+  /// byte-identical (literal-1.0 discipline).
+  struct PushAsideConfig {
+    bool enabled = false;
+    /// Victim weight is divided by this per grab (multiplicative grab).
+    double grab_factor = 2.0;
+    /// Victim weight is restored by this per clear update (additive
+    /// give-back) until it settles back to exactly 1.0.
+    double giveback_step = 0.25;
+    /// Confiscation floor: the victim's scale never drops below this, so
+    /// it keeps earning service-time samples and can recover instantly.
+    double victim_floor = 0.125;
+    /// A grab is held at least this many share updates before give-back
+    /// may begin (anti-limit-cycling, same lesson as SloConfig::decay_after).
+    std::uint32_t min_hold_updates = 2;
+  };
+  PushAsideConfig push_aside;
+
+  /// Ingress admission gate tuning (DESIGN.md §17). The gate itself is
+  /// armed by registering flow classes (set_chain_class / the `class`
+  /// config directive); without classes no admission code runs.
+  bp::AdmissionConfig admission;
+
   bp::BpConfig backpressure;
   bp::EcnMarker::Config ecn;
   /// Fault & lifecycle subsystem (DESIGN.md §11). Disabled by default: no
@@ -155,6 +186,11 @@ struct NfManagerCounters {
 struct ChainCounters {
   std::uint64_t entry_admitted = 0;
   std::uint64_t entry_throttle_drops = 0;  ///< Selective early discard.
+  /// Shed by the admission gate at ingress (DESIGN.md §17) — a distinct
+  /// conservation sink, separate from both the entry-throttle discard and
+  /// mgr.unmatched_drops: wire_ingress == entry_admitted +
+  /// entry_throttle_drops + admission_discards (+ unmatched).
+  std::uint64_t admission_discards = 0;
   std::uint64_t egress_packets = 0;
   std::uint64_t egress_bytes = 0;
   /// Dead hops routed around under DeadNfPolicy::kBypass (hop-skips, not
@@ -293,6 +329,27 @@ class Manager : public fault::FaultSink {
   /// need config().slo.enabled. Callable before or after start().
   void set_slo_target(flow::ChainId chain, Cycles target);
   [[nodiscard]] const ChainSloState& chain_slo(flow::ChainId id) const;
+
+  // -- overload control (DESIGN.md §17) --------------------------------------
+  /// Register a chain's flow class and arm the ingress admission gate for
+  /// it. Lazily creates the controller: runs that never call this pay one
+  /// null test per ingress packet and nothing else. Call before start().
+  void set_chain_class(flow::ChainId chain, bp::ClassSpec spec);
+  /// The admission controller; nullptr until a class is registered.
+  [[nodiscard]] const bp::AdmissionController* admission() const {
+    return adm_.get();
+  }
+  /// Push-aside trajectory of an NF: current share scale (1.0 = untouched,
+  /// < 1.0 = a neighbor is borrowing its slice) and grab/give-back totals.
+  [[nodiscard]] double push_scale_of(flow::NfId id) const {
+    return records_[id].push_scale;
+  }
+  [[nodiscard]] std::uint64_t push_grabs_of(flow::NfId id) const {
+    return records_[id].push_grabs;
+  }
+  [[nodiscard]] std::uint64_t push_givebacks_of(flow::NfId id) const {
+    return records_[id].push_givebacks;
+  }
   [[nodiscard]] const FlowCounters& flow_counters(flow::FlowId id) const;
   [[nodiscard]] bp::BackpressureManager* backpressure() { return bp_.get(); }
   [[nodiscard]] bp::EcnMarker* ecn() { return ecn_.get(); }
@@ -372,6 +429,19 @@ class Manager : public fault::FaultSink {
     // Degrade fault: cost-model scale to restore when the window closes.
     double pre_degrade_scale = 1.0;
     bool degraded = false;
+
+    // -- PAM push-aside (DESIGN.md §17) -------------------------------------
+    /// Share multiplier while a higher-priority core neighbor borrows this
+    /// NF's slice; in [victim_floor, 1.0], settles to exactly 1.0.
+    double push_scale = 1.0;
+    /// Share updates the current grab must still be held before give-back.
+    std::uint32_t push_hold = 0;
+    /// Queue pressure seen at any monitor tick since the last share
+    /// update — sampling only at the 10 ms update would miss a ring that
+    /// oscillates across the watermark between updates.
+    bool push_pressure = false;
+    std::uint64_t push_grabs = 0;
+    std::uint64_t push_givebacks = 0;
   };
 
   void enqueue_to_nf(flow::NfId nf_id, pktio::Mbuf* pkt, Cycles when);
@@ -410,6 +480,15 @@ class Manager : public fault::FaultSink {
   [[nodiscard]] bool slo_active() const {
     return !slo_chains_.empty();
   }
+
+  // -- overload control (DESIGN.md §17) --------------------------------------
+  /// Monitor-tick half of the admission gate: feed the shed ladders the
+  /// first-hop queue occupancies and SLO-violating flags of every classed
+  /// chain headed on this lane. Only called when adm_ exists.
+  void admission_evaluate(Cycles now);
+  /// Share-update half of push-aside: advance every local core's
+  /// grab/give-back state machine. Only called when push_aside.enabled.
+  void push_aside_control(Cycles now);
 
   // -- lifecycle internals (DESIGN.md §11) ----------------------------------
   /// Periodic heartbeat scan: detects dead/stuck NFs, fires due restarts,
@@ -460,6 +539,11 @@ class Manager : public fault::FaultSink {
 
   std::unique_ptr<bp::BackpressureManager> bp_;
   std::unique_ptr<bp::EcnMarker> ecn_;
+  /// Ingress admission gate (DESIGN.md §17); created lazily by the first
+  /// set_chain_class, so legacy runs pay one null test per packet.
+  std::unique_ptr<bp::AdmissionController> adm_;
+  /// Scratch inputs for admission_evaluate (reused to avoid allocation).
+  std::vector<bp::AdmissionInput> adm_inputs_;
   sched::CGroupController cgroup_;
 
   std::uint64_t wire_ingress_ = 0;

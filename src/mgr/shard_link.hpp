@@ -64,6 +64,14 @@ struct ShardMsg {
     /// the same boost decisions. `nf` carries the ChainId (the id spaces
     /// are both dense uint32 indices), `tail_p99` the p99 in cycles.
     kChainTail,
+    /// Overload-control mirror (DESIGN.md §17): the lane owning a chain's
+    /// last hop broadcasts the chain's SLO-violating flag whenever it
+    /// flips, but only while the chain has an admission class — the
+    /// chain's home lane, where the ingress gate runs, uses the violation
+    /// clock as an engage trigger. `nf` carries the ChainId, `tail_p99`
+    /// the flag (0/1). Zero messages when admission is unused, so legacy
+    /// sharded runs stay byte-identical.
+    kChainOverload,
   };
 
   Kind kind = Kind::kPacket;

@@ -36,6 +36,9 @@ inline constexpr std::uint32_t kIoLane = 903;
 /// Latency-SLO controller (DESIGN.md §16): per-chain p99 samples,
 /// violation begin/end edges, share-boost counter series.
 inline constexpr std::uint32_t kSloLane = 904;
+/// Overload control (DESIGN.md §17): admission-gate engage/release
+/// instants, ingress-discard drops, push-aside grab/give-back edges.
+inline constexpr std::uint32_t kAdmissionLane = 905;
 
 struct TraceEvent {
   Cycles ts = 0;            ///< Engine time the event fired.

@@ -1,0 +1,159 @@
+// AdmissionController unit tests (DESIGN.md §17): shed-ladder ordering by
+// utility, engage/release hysteresis with minimum hold, and the trickle
+// token bucket's math.
+#include "bp/admission.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nfv::bp {
+namespace {
+
+AdmissionConfig tight_config() {
+  AdmissionConfig cfg;
+  cfg.engage_watermark = 0.80;
+  cfg.release_watermark = 0.50;
+  cfg.min_hold_evals = 2;
+  cfg.shed_admit_pps = 1000.0;
+  cfg.shed_burst = 4.0;
+  cfg.cpu_hz = 1e6;  // 1000 cycles per token at 1000 pps.
+  return cfg;
+}
+
+std::vector<AdmissionInput> one_group(double occupancy, bool violating,
+                                      std::size_t chains) {
+  std::vector<AdmissionInput> in;
+  for (std::size_t c = 0; c < chains; ++c) {
+    in.push_back({static_cast<flow::ChainId>(c), /*group=*/7, occupancy,
+                  violating});
+  }
+  return in;
+}
+
+TEST(Admission, UnclassedChainsAlwaysAdmit) {
+  AdmissionController adm(tight_config());
+  EXPECT_FALSE(adm.has_class(0));
+  EXPECT_TRUE(adm.admit(0, 0));
+  EXPECT_TRUE(adm.admit(42, 100));
+  EXPECT_EQ(adm.total_discards(), 0u);
+}
+
+TEST(Admission, ClassRegistrationIsIdempotentPerChain) {
+  AdmissionController adm(tight_config());
+  adm.set_class(3, {2.0, 5.0});
+  adm.set_class(3, {1.0, 9.0});
+  EXPECT_EQ(adm.class_count(), 1u);
+  ASSERT_NE(adm.class_of(3), nullptr);
+  EXPECT_DOUBLE_EQ(adm.class_of(3)->utility, 9.0);
+}
+
+TEST(Admission, ShedsLowestUtilityFirstOneRungPerHold) {
+  AdmissionController adm(tight_config());
+  adm.set_class(0, {1.0, 10.0});  // gold
+  adm.set_class(1, {1.0, 2.0});   // bulk
+  adm.set_class(2, {1.0, 5.0});   // mid
+
+  adm.evaluate(0, one_group(0.9, false, 3));
+  EXPECT_FALSE(adm.engaged(0));
+  EXPECT_FALSE(adm.engaged(2));
+  EXPECT_TRUE(adm.engaged(1)) << "lowest utility sheds first";
+
+  // The hold countdown (2 evals) blocks the next rung.
+  adm.evaluate(1, one_group(0.9, false, 3));
+  adm.evaluate(2, one_group(0.9, false, 3));
+  EXPECT_FALSE(adm.engaged(2));
+
+  adm.evaluate(3, one_group(0.9, false, 3));
+  EXPECT_TRUE(adm.engaged(2)) << "next-lowest utility sheds next";
+  EXPECT_FALSE(adm.engaged(0));
+}
+
+TEST(Admission, ReleasesHighestUtilityFirst) {
+  AdmissionConfig cfg = tight_config();
+  cfg.min_hold_evals = 0;
+  AdmissionController adm(cfg);
+  adm.set_class(0, {1.0, 10.0});
+  adm.set_class(1, {1.0, 2.0});
+  adm.evaluate(0, one_group(0.9, false, 2));
+  adm.evaluate(1, one_group(0.9, false, 2));
+  ASSERT_TRUE(adm.engaged(0));
+  ASSERT_TRUE(adm.engaged(1));
+
+  adm.evaluate(2, one_group(0.1, false, 2));
+  EXPECT_FALSE(adm.engaged(0)) << "highest utility restored first";
+  EXPECT_TRUE(adm.engaged(1));
+  adm.evaluate(3, one_group(0.1, false, 2));
+  EXPECT_FALSE(adm.engaged(1));
+  EXPECT_EQ(adm.stats(0).engagements, 1u);
+  EXPECT_EQ(adm.stats(0).releases, 1u);
+}
+
+TEST(Admission, HysteresisBandHoldsBetweenWatermarks) {
+  AdmissionConfig cfg = tight_config();
+  cfg.min_hold_evals = 0;
+  AdmissionController adm(cfg);
+  adm.set_class(0, {1.0, 1.0});
+  adm.evaluate(0, one_group(0.85, false, 1));
+  ASSERT_TRUE(adm.engaged(0));
+  // Occupancy in (release, engage): neither escalate nor release.
+  for (int i = 1; i <= 5; ++i) adm.evaluate(i, one_group(0.65, false, 1));
+  EXPECT_TRUE(adm.engaged(0));
+  adm.evaluate(6, one_group(0.4, false, 1));
+  EXPECT_FALSE(adm.engaged(0));
+}
+
+TEST(Admission, SloOnlyPressureNeverShedsTheViolatingChain) {
+  AdmissionConfig cfg = tight_config();
+  cfg.min_hold_evals = 0;
+  AdmissionController adm(cfg);
+  adm.set_class(0, {1.0, 10.0});
+  adm.set_class(1, {1.0, 2.0});
+  // Only the gold chain violates; the queue itself is fine. The ladder
+  // must shed bulk and then stall — shedding the chain being rescued
+  // would just burn its goodput.
+  std::vector<AdmissionInput> in = {{0, 7, 0.2, true}, {1, 7, 0.2, false}};
+  for (int i = 0; i < 6; ++i) adm.evaluate(i, in);
+  EXPECT_TRUE(adm.engaged(1));
+  EXPECT_FALSE(adm.engaged(0));
+  // Genuine queue overload may shed anything, violating or not.
+  std::vector<AdmissionInput> flooded = {{0, 7, 0.95, true},
+                                         {1, 7, 0.95, false}};
+  for (int i = 6; i < 12; ++i) adm.evaluate(i, flooded);
+  EXPECT_TRUE(adm.engaged(0));
+}
+
+TEST(Admission, TrickleBucketRefillsAtConfiguredRate) {
+  AdmissionController adm(tight_config());
+  adm.set_class(0, {1.0, 1.0});
+  adm.evaluate(0, one_group(0.9, false, 1));
+  ASSERT_TRUE(adm.engaged(0));
+
+  // Engage fills the bucket (burst 4): four admits, then discards.
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(adm.admit(0, 0));
+  EXPECT_FALSE(adm.admit(0, 0));
+  EXPECT_EQ(adm.stats(0).trickle_admits, 4u);
+  EXPECT_EQ(adm.stats(0).discards, 1u);
+
+  // 1000 cycles = exactly one token at 1000 pps on the 1 MHz clock.
+  EXPECT_TRUE(adm.admit(0, 1000));
+  EXPECT_FALSE(adm.admit(0, 1000));
+
+  // Refill is capped at the burst depth.
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(adm.admit(0, 1'000'000));
+  EXPECT_FALSE(adm.admit(0, 1'000'000));
+  EXPECT_EQ(adm.total_discards(), 3u);
+}
+
+TEST(Admission, SeparateGroupsRunIndependentLadders) {
+  AdmissionConfig cfg = tight_config();
+  cfg.min_hold_evals = 0;
+  AdmissionController adm(cfg);
+  adm.set_class(0, {1.0, 1.0});
+  adm.set_class(1, {1.0, 1.0});
+  std::vector<AdmissionInput> in = {{0, 7, 0.9, false}, {1, 9, 0.1, false}};
+  adm.evaluate(0, in);
+  EXPECT_TRUE(adm.engaged(0));
+  EXPECT_FALSE(adm.engaged(1)) << "group 9 is unpressured";
+}
+
+}  // namespace
+}  // namespace nfv::bp

@@ -469,5 +469,86 @@ TEST(ConfigLoader, SloBadOptionFails) {
       ConfigError);
 }
 
+// -- class directive (DESIGN.md §17) ----------------------------------------
+
+TEST(ConfigLoader, ClassDirectiveRegistersFlowClass) {
+  Simulation sim;
+  const auto topo = load_string(R"(
+    mode nfvnice
+    core batch
+    nf fwd core=0 cost=120
+    chain gold fwd
+    chain bulk fwd
+    class gold priority=4 utility=10
+    class bulk utility=2
+  )",
+                                sim);
+  const auto gr = sim.chain_admission_report(topo.chains.at("gold"));
+  ASSERT_TRUE(gr.classed);
+  EXPECT_DOUBLE_EQ(gr.priority, 4.0);
+  EXPECT_DOUBLE_EQ(gr.utility, 10.0);
+  const auto br = sim.chain_admission_report(topo.chains.at("bulk"));
+  ASSERT_TRUE(br.classed);
+  EXPECT_DOUBLE_EQ(br.priority, 1.0);  // omitted options keep defaults
+  EXPECT_DOUBLE_EQ(br.utility, 2.0);
+}
+
+TEST(ConfigLoader, ClassUnknownChainFails) {
+  Simulation sim;
+  try {
+    load_string("core batch\nclass ghost priority=1\n", sim);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("ghost"), std::string::npos);
+  }
+}
+
+TEST(ConfigLoader, DuplicateClassCarriesLineNumber) {
+  Simulation sim;
+  try {
+    load_string(
+        "core batch\n"
+        "nf f core=0 cost=10\n"
+        "chain c f\n"
+        "class c utility=5\n"
+        "class c utility=7\n",
+        sim);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.line(), 5);
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+  }
+}
+
+TEST(ConfigLoader, ClassValidatesRanges) {
+  const std::string prelude = "core batch\nnf f core=0 cost=10\nchain c f\n";
+  Simulation sim;
+  EXPECT_THROW(load_string(prelude + "class c priority=0\n", sim),
+               ConfigError);
+  Simulation sim2;
+  EXPECT_THROW(load_string(prelude + "class c utility=-3\n", sim2),
+               ConfigError);
+  Simulation sim3;
+  EXPECT_THROW(load_string(prelude + "class c priority=1001\n", sim3),
+               ConfigError);
+  Simulation sim4;
+  EXPECT_THROW(load_string(prelude + "class c utility=nan\n", sim4),
+               ConfigError);
+}
+
+TEST(ConfigLoader, ClassBadOptionFails) {
+  const std::string prelude = "core batch\nnf f core=0 cost=10\nchain c f\n";
+  Simulation sim;
+  EXPECT_THROW(load_string(prelude + "class c weight=5\n", sim), ConfigError);
+  Simulation sim2;
+  EXPECT_THROW(load_string(prelude + "class c priority\n", sim2), ConfigError);
+  Simulation sim3;
+  EXPECT_THROW(load_string(prelude + "class c utility=abc\n", sim3),
+               ConfigError);
+  Simulation sim4;
+  EXPECT_THROW(load_string(prelude + "class\n", sim4), ConfigError);
+}
+
 }  // namespace
 }  // namespace nfv::config

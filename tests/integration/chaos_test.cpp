@@ -184,6 +184,80 @@ void check_invariants(ChaosRun& r, io::AsyncIoEngine::OnIoFail policy,
   EXPECT_EQ(sim.nf_lifecycle_stats(r.fwd).forced_crashes, 0u);
 }
 
+// Overload + fault composition (DESIGN.md §17): the ingress admission
+// gate is engaged — actively shedding the bulk class — when the shared
+// classifier NF crashes and restarts. The shed must not corrupt the
+// accounting through DEAD/RESTARTING (its discards are a distinct sink
+// next to entry-throttle and crash drops), everything must drain to zero
+// once traffic stops, and the watchdog must not misread the overload or
+// the victim squeeze as a death (only the injected crash counts).
+TEST(ChaosOverload, AdmissionEngagedThroughCrashAndRestart) {
+  const auto once = [] {
+    PlatformConfig cfg;
+    cfg.set_nfvnice(true);
+    cfg.manager.push_aside.enabled = true;
+    auto sim = std::make_unique<Simulation>(cfg);
+    const auto c0 = sim->add_core(SchedPolicy::kCfsBatch);
+    const auto c1 = sim->add_core(SchedPolicy::kCfsBatch);
+    const auto gate = sim->add_nf("gate", c0, nf::CostModel::fixed(600));
+    const auto gold_nf = sim->add_nf("gold_nf", c1, nf::CostModel::fixed(150));
+    const auto bulk_nf = sim->add_nf("bulk_nf", c1, nf::CostModel::fixed(50));
+    const auto gold = sim->add_chain("gold", {gate, gold_nf});
+    const auto bulk = sim->add_chain("bulk", {gate, bulk_nf});
+    sim->set_chain_class(gold, /*priority=*/4.0, /*utility=*/10.0);
+    sim->set_chain_class(bulk, /*priority=*/1.0, /*utility=*/2.0);
+    sim->set_chain_slo(gold, 300.0);  // violation clock = engage trigger
+    sim->add_udp_flow(gold, 0.5e6, {.stop_seconds = 0.25});
+    sim->add_udp_flow(bulk, 8e6, {.stop_seconds = 0.25});
+    fault::FaultPlan plan;
+    plan.add_crash(gate, sim->clock().from_seconds(0.1),
+                   sim->clock().from_seconds(0.02));
+    sim->set_fault_plan(std::move(plan));
+    sim->run_for_seconds(0.6);
+
+    // Conservation across all three ingress sinks plus the crash loss.
+    const std::uint64_t wire = sim->manager().wire_ingress();
+    std::uint64_t admitted = 0, entry_drops = 0, adm_discards = 0, egress = 0;
+    for (const auto chain : {gold, bulk}) {
+      const auto cm = sim->chain_metrics(chain);
+      admitted += cm.entry_admitted;
+      entry_drops += cm.entry_throttle_drops;
+      adm_discards += cm.admission_discards;
+      egress += cm.egress_packets;
+    }
+    std::uint64_t ring_drops = 0, crash_drops = 0, in_queues = 0;
+    for (const auto nf : {gate, gold_nf, bulk_nf}) {
+      const auto m = sim->nf_metrics(nf);
+      ring_drops += m.rx_full_drops;
+      crash_drops += m.crash_drops;
+      in_queues += sim->nf(nf).rx_ring().size() +
+                   sim->nf(nf).tx_ring().size() +
+                   sim->nf(nf).in_flight_packets();
+    }
+    EXPECT_GT(adm_discards, 0u) << "gate never engaged during the fault run";
+    EXPECT_EQ(wire, admitted + entry_drops + adm_discards);
+    EXPECT_EQ(admitted, egress + ring_drops + crash_drops);
+
+    // Drain-to-zero: traffic stopped at 0.25 s, restart completed long
+    // before 0.6 s.
+    EXPECT_EQ(in_queues, 0u);
+    EXPECT_EQ(sim->pool().in_use(), 0u);
+    EXPECT_EQ(sim->nf_lifecycle(gate), fault::NfLifecycle::kRunning);
+
+    // Watchdog honesty: exactly the injected crash, no force-kills — an
+    // overloaded (or push-aside-squeezed) NF is slow, not dead.
+    for (const auto nf : {gate, gold_nf, bulk_nf}) {
+      EXPECT_EQ(sim->nf_lifecycle_stats(nf).forced_crashes, 0u);
+    }
+    EXPECT_EQ(sim->nf_lifecycle_stats(gate).crashes, 1u);
+    EXPECT_EQ(sim->nf_lifecycle_stats(gold_nf).crashes, 0u);
+    EXPECT_EQ(sim->nf_lifecycle_stats(bulk_nf).crashes, 0u);
+    return sim->report_json();
+  };
+  // Byte-determinism: the same overload+fault schedule replays identically.
+  EXPECT_EQ(once(), once());
+}
+
 TEST(ChaosSmoke, RandomizedDeviceFaultSchedules) {
   nfv::Rng rng(0xC4A05C4A05ULL);  // fixed seed: the suite is reproducible
   for (int round = 0; round < 4; ++round) {

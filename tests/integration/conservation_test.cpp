@@ -11,6 +11,9 @@ struct Accounting {
   std::uint64_t wire_ingress = 0;
   std::uint64_t entry_admitted = 0;
   std::uint64_t entry_drops = 0;
+  /// Shed by the ingress admission gate (DESIGN.md §17) — a sink distinct
+  /// from the backpressure entry drops; zero when no chain has a class.
+  std::uint64_t admission_discards = 0;
   std::uint64_t egress = 0;
   std::uint64_t rx_full_drops = 0;
   std::uint64_t handler_drops = 0;
@@ -28,6 +31,7 @@ Accounting account(Simulation& sim, const std::vector<flow::NfId>& nfs,
     const auto cm = sim.chain_metrics(chain);
     a.entry_admitted += cm.entry_admitted;
     a.entry_drops += cm.entry_throttle_drops;
+    a.admission_discards += cm.admission_discards;
     a.egress += cm.egress_packets;
   }
   for (const auto nf : nfs) {
@@ -45,7 +49,8 @@ Accounting account(Simulation& sim, const std::vector<flow::NfId>& nfs,
 // handler, lost in-flight to an NF crash, or still sitting in a queue (or
 // held in flight by an NF).
 void expect_conservation(const Accounting& a) {
-  EXPECT_EQ(a.wire_ingress, a.entry_admitted + a.entry_drops);
+  EXPECT_EQ(a.wire_ingress,
+            a.entry_admitted + a.entry_drops + a.admission_discards);
   const std::uint64_t accounted =
       a.egress + a.rx_full_drops + a.handler_drops + a.crash_drops + a.in_queues;
   // In-flight packets (one per NF at most) explain any small gap.
@@ -185,6 +190,44 @@ TEST(Conservation, DrainToZeroAfterCrash) {
   EXPECT_EQ(acc.pool_in_use, 0u);
   EXPECT_EQ(acc.entry_admitted, acc.egress + acc.rx_full_drops +
                                     acc.handler_drops + acc.crash_drops);
+}
+
+// With flow classes registered the admission gate sheds low-utility
+// ingress into its own sink (DESIGN.md §17): the wire split gains a third
+// term, and once traffic stops everything still drains to zero — a shed
+// packet is freed at the gate, never queued.
+TEST(Conservation, UnderAdmissionShedding) {
+  Simulation sim;
+  const auto c0 = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto c1 = sim.add_core(SchedPolicy::kCfsBatch);
+  const auto gate = sim.add_nf("gate", c0, nf::CostModel::fixed(600));
+  const auto gold_nf = sim.add_nf("gold_nf", c1, nf::CostModel::fixed(150));
+  const auto bulk_nf = sim.add_nf("bulk_nf", c1, nf::CostModel::fixed(50));
+  const auto gold = sim.add_chain("gold", {gate, gold_nf});
+  const auto bulk = sim.add_chain("bulk", {gate, bulk_nf});
+  sim.set_chain_class(gold, /*priority=*/4.0, /*utility=*/10.0);
+  sim.set_chain_class(bulk, /*priority=*/1.0, /*utility=*/2.0);
+  // Engage trigger: entry throttling holds the gate ring in the
+  // backpressure hysteresis band, mostly under the 0.80 engage watermark —
+  // it is gold's running SLO-violation clock (multi-ms queueing at the
+  // gate against a 300 us target) that starts the shed ladder, exactly the
+  // fig_overload arrangement.
+  sim.set_chain_slo(gold, 300.0);
+  sim.add_udp_flow(gold, 0.5e6, {.stop_seconds = 0.15});
+  // ~2x the gate's capacity: the shared first hop stays pressured and the
+  // ladder sheds the bulk class.
+  sim.add_udp_flow(bulk, 8e6, {.stop_seconds = 0.15});
+  sim.run_for_seconds(0.4);
+
+  const auto acc = account(sim, {gate, gold_nf, bulk_nf}, {gold, bulk});
+  EXPECT_GT(acc.admission_discards, 0u) << "gate never engaged";
+  EXPECT_EQ(sim.chain_metrics(gold).admission_discards, 0u)
+      << "the high-utility class must not be shed";
+  expect_conservation(acc);
+  EXPECT_EQ(acc.in_queues, 0u);
+  EXPECT_EQ(acc.pool_in_use, 0u);
+  EXPECT_EQ(acc.entry_admitted,
+            acc.egress + acc.rx_full_drops + acc.handler_drops);
 }
 
 // Sweep the invariant across schedulers and load levels.

@@ -62,6 +62,20 @@ against a ceiling of base * (1 + tolerance) instead:
                                  microseconds. Deterministic simulation
                                  output.
 
+The overload-control frontier (fig_overload, DESIGN.md §17) adds one of
+each kind. Deterministic simulation output:
+
+  overload_priority_goodput_ratio
+                                 gold-class goodput with admission +
+                                 push-aside relative to plain backpressure
+                                 under ~2x overload. Higher is better, and
+                                 additionally gated against an absolute
+                                 floor: the combined arm must retain
+                                 strictly more priority goodput than the
+                                 baseline whatever the pinned value.
+  overload_gold_p99_ratio        gold-class whole-run p99, combined over
+                                 baseline. Lower is better (ceiling).
+
 Regenerate the baseline (e.g. on a hardware change or an accepted perf
 shift) with --update. CI machines are noisy, hence the wide tolerance;
 the baseline was captured on an idle box, so a genuine 20% regression is
@@ -118,6 +132,20 @@ def run_fig_slo(binary: pathlib.Path) -> dict:
     }
 
 
+def run_fig_overload(binary: pathlib.Path) -> dict:
+    # Exits non-zero when the combined arm's report is not byte-identical
+    # across a rerun or across sim_shards=1 vs 4; check=True doubles as
+    # the determinism gate (micro_shard precedent).
+    out = subprocess.run([str(binary), "--json"], check=True,
+                         capture_output=True, text=True).stdout
+    data = json.loads(out)
+    return {
+        "overload_priority_goodput_ratio":
+            float(data["overload_priority_goodput_ratio"]),
+        "overload_gold_p99_ratio": float(data["overload_gold_p99_ratio"]),
+    }
+
+
 def run_micro_flowmap(binary: pathlib.Path) -> dict:
     out = subprocess.run([str(binary), "--json"], check=True,
                          capture_output=True, text=True).stdout
@@ -160,8 +188,15 @@ TIMER_WHEEL_SPEEDUP_FLOOR = 3.0
 # floor. slo_violation_ratio additionally has an absolute ceiling — the
 # feedback controller must produce strictly fewer violation-seconds than
 # rate-cost fairness no matter what the baseline recorded.
-LOWER_IS_BETTER = {"slo_violation_ratio", "slo_p99_us"}
+LOWER_IS_BETTER = {"slo_violation_ratio", "slo_p99_us",
+                   "overload_gold_p99_ratio"}
 SLO_VIOLATION_RATIO_CEILING = 1.0
+
+# Absolute floor for the overload-control frontier (DESIGN.md §17): with
+# admission + push-aside on, the priority class must retain strictly more
+# goodput than plain backpressure under ~2x overload, whatever ratio the
+# baseline happened to pin.
+OVERLOAD_PRIORITY_GOODPUT_FLOOR = 1.02
 
 
 def run_micro_substrate(binary: pathlib.Path, repetitions: int) -> float:
@@ -209,6 +244,7 @@ def main() -> int:
     current.update(run_micro_engine(bench_dir / "micro_engine"))
     current.update(run_micro_flowmap(bench_dir / "micro_flowmap"))
     current.update(run_fig_slo(bench_dir / "fig_slo"))
+    current.update(run_fig_overload(bench_dir / "fig_overload"))
     shard = run_micro_shard(bench_dir / "micro_shard")
     host_cores = shard.pop("host_cores")
     current.update(shard)
@@ -250,6 +286,11 @@ def main() -> int:
             # Absolute gate: the wheel must beat the heap by the floor
             # regardless of what ratio the baseline happened to record.
             floor = TIMER_WHEEL_SPEEDUP_FLOOR * (1.0 - args.tolerance)
+        elif name == "overload_priority_goodput_ratio":
+            # Relative floor like every higher-is-better metric, but never
+            # below the absolute combined-beats-baseline gate.
+            floor = max(base * (1.0 - args.tolerance),
+                        OVERLOAD_PRIORITY_GOODPUT_FLOOR)
         else:
             floor = base * (1.0 - args.tolerance)
         verdict = "OK" if now >= floor else "REGRESSION"
